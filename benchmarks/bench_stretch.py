@@ -1,0 +1,58 @@
+"""Experiment ``thm21-stretch`` — stretch vs δ for the Theorem 2.1 scheme.
+
+Claim 2.5 promises stretch 1 + O(δ).  We sweep δ and report measured
+max/mean stretch plus the ring cardinality K (the paper's (16/δ)^α),
+whose growth as δ shrinks is the storage price of tighter stretch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.graphs import knn_geometric_graph
+from repro.metrics.graphmetric import ShortestPathMetric
+from repro.routing import RingRouting, evaluate_scheme
+
+DELTAS = (0.45, 0.3, 0.2, 0.1, 0.05)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = knn_geometric_graph(96, k=4, seed=80)
+    return graph, ShortestPathMetric(graph)
+
+
+def test_stretch_vs_delta(benchmark, workload):
+    graph, metric = workload
+    rows = []
+    schemes = {}
+    for delta in DELTAS:
+        scheme = RingRouting(graph, delta=delta, metric=metric)
+        schemes[delta] = scheme
+        stats = evaluate_scheme(scheme, metric.matrix, sample_pairs=400, seed=4)
+        rows.append(
+            (
+                delta,
+                f"{stats.delivery_rate:.0%}",
+                f"{stats.max_stretch:.4f}",
+                f"{stats.mean_stretch:.4f}",
+                scheme.max_ring_cardinality(),
+                f"{stats.max_table_bits:,}",
+            )
+        )
+        assert stats.delivery_rate == 1.0
+        assert stats.max_stretch <= 1 + 4 * delta
+    benchmark(schemes[0.2].route, 0, 95)
+    record_table(
+        "thm21_stretch",
+        "Theorem 2.1: stretch vs delta (kNN graph, n=96)",
+        ["delta", "delivery", "max stretch", "mean stretch", "K", "table bits"],
+        rows,
+        note="Stretch tracks 1+O(delta); K and table bits grow as delta shrinks "
+        "(the paper's K = (16/delta)^alpha trade-off).",
+    )
+    # Monotone shape: smaller delta should not have larger max stretch
+    # than the largest delta's bound.
+    max_stretches = [float(r[2]) for r in rows]
+    assert max_stretches[-1] <= max_stretches[0] + 0.02

@@ -1,0 +1,47 @@
+"""Benchmark harness support.
+
+Every bench module regenerates one artifact of the paper's evaluation
+(see DESIGN.md's experiment index).  Reproduction tables are printed and
+also written under ``benchmarks/results/`` so they survive pytest's
+output capture; EXPERIMENTS.md summarizes them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Format, print and persist one reproduction table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [max(len(str(h)), 12) for h in header]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c)[: w + 8].rjust(w) for c, w in zip(row, widths))
+        )
+    if note:
+        lines.append("")
+        lines.append(note)
+    text = "\n".join(lines)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Internet latency estimation: (0,δ)-triangulation vs common beacons.
+
+The motivating application of §3 ([29, 26, 35, 20, 33]): estimate
+pairwise latencies of a large node set from small per-node labels.  We
+simulate an internet-like latency matrix (hierarchical clusters +
+jitter — see DESIGN.md for the substitution note), then compare:
+
+* the [33, 50] baseline — every node measures the same k random beacons:
+  an (ε,δ)-triangulation where an ε-fraction of pairs has a bad
+  certificate;
+* Theorem 3.2 — rings of neighbors as beacon sets: ε = 0, every pair is
+  certified.
+
+Run:  python examples/internet_latency.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labeling import BeaconTriangulation, RingTriangulation
+from repro.metrics import internet_like_metric
+
+
+def main() -> None:
+    metric = internet_like_metric(160, seed=5)
+    delta = 0.3
+    print(f"simulated latency matrix: n={metric.n}, "
+          f"Δ={metric.aspect_ratio():.0f}\n")
+
+    ring = RingTriangulation(metric, delta=delta)
+    print(f"Theorem 3.2 rings triangulation: order {ring.order}")
+    print(f"  pairs with D+/D- > {1 + 2 * delta:.2f}: "
+          f"{sum(1 for u, v in metric.pairs() if ring.bounds(u, v)[1] / max(ring.bounds(u, v)[0], 1e-12) > 1 + 2 * delta)}"
+          f" / {metric.n * (metric.n - 1) // 2}")
+    errors = [
+        ring.estimate(u, v) / metric.distance(u, v) - 1.0
+        for u, v in metric.pairs()
+    ]
+    print(f"  estimate error: median {np.median(errors):.2%}, "
+          f"worst {max(errors):.2%}")
+
+    for k in (8, 16, ring.order):
+        beacon = BeaconTriangulation(metric, k=k, seed=1)
+        eps = beacon.epsilon_for_delta(2 * delta)
+        errors = [
+            beacon.estimate(u, v) / metric.distance(u, v) - 1.0
+            for u, v in metric.pairs()
+        ]
+        print(f"\ncommon-beacon baseline, k={k}:")
+        print(f"  ε (pairs failing δ={2 * delta}): {eps:.1%}")
+        print(f"  estimate error: median {np.median(errors):.2%}, "
+              f"worst {max(errors):.2%}")
+
+    print("\n=> same label budget, but the rings construction certifies "
+          "every pair (ε = 0), as Theorem 3.2 promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — rings of neighbors for distance estimation and object location.
+
+A complete reproduction of **Aleksandrs Slivkins, "Distance Estimation and
+Object Location via Rings of Neighbors" (PODC 2005; full version 2006)**:
+four node-labeling problems on doubling metrics solved with one sparse
+distributed data structure.
+
+Quickstart::
+
+    from repro import metrics, labeling
+
+    metric = metrics.random_hypercube_metric(128, dim=2, seed=0)
+    tri = labeling.RingTriangulation(metric, delta=0.25)
+    estimate = tri.estimate(3, 77)          # (1+O(delta))-approximation
+
+Subpackages
+-----------
+``repro.metrics``
+    Finite metric spaces, synthetic workloads, r-nets, doubling measures,
+    (ε,µ)-packings, dimension estimators.
+``repro.graphs``
+    Weighted graphs, Dijkstra first-hop tables, doubling-graph generators.
+``repro.core``
+    The rings-of-neighbors structure, zooming sequences, host/virtual
+    enumerations, overlay networks.
+``repro.labeling``
+    Theorem 3.2 (0,δ)-triangulation and Theorem 3.4 distance labeling.
+``repro.routing``
+    Theorems 2.1, 4.1 and 4.2/B.1 compact routing, plus §4.1 routing on
+    metrics and the trivial baseline.
+``repro.smallworld``
+    Theorems 5.2(a/b) and 5.5 searchable small worlds, plus Kleinberg's
+    grid and group-structures baselines.
+``repro.meridian``
+    The Meridian closest-node application layer [57].
+"""
+
+from repro import (
+    core,
+    distributed,
+    graphs,
+    labeling,
+    location,
+    meridian,
+    metrics,
+    routing,
+    smallworld,
+)
+from repro.bits import SizeAccount, bits_for_count
+from repro.rng import ensure_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "distributed",
+    "graphs",
+    "labeling",
+    "location",
+    "meridian",
+    "metrics",
+    "routing",
+    "smallworld",
+    "SizeAccount",
+    "bits_for_count",
+    "ensure_rng",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Shared type aliases for the :mod:`repro` package.
+
+Nodes of every metric space and graph in this library are identified by
+dense integer ids in ``[0, n)``.  Keeping the alias in one module makes the
+intent of signatures such as ``def distance(self, u: NodeId, v: NodeId)``
+explicit without pulling in heavyweight typing machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Identifier of a node in a metric space or graph: a dense int in ``[0, n)``.
+NodeId = int
+
+#: Anything accepted where a collection of node ids is expected.
+NodeIds = Union[Sequence[int], np.ndarray]
+
+#: A non-negative edge weight / distance.
+Distance = float

@@ -1,0 +1,130 @@
+"""Bit-accounting primitives.
+
+Every size claim in the paper (routing table bits, packet header bits,
+label bits) is reproduced by *counting the bits of the concrete data
+structures we build*, never by plugging numbers into the asymptotic
+formulas.  This module provides the small vocabulary used for that
+accounting:
+
+* :func:`bits_for_count` — bits needed to store an index into a set of a
+  given cardinality (``ceil(log2(k))``, with sane behaviour for ``k <= 1``).
+* :func:`bits_for_value` — bits needed to store a non-negative integer.
+* :class:`SizeAccount` — a labelled breakdown of a structure's storage,
+  supporting addition and pretty-printing so benches can report both the
+  total and the per-component split (e.g. translation functions vs
+  first-hop pointers, as in Table 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+def bits_for_count(k: int) -> int:
+    """Bits needed to index into a set of cardinality ``k``.
+
+    ``bits_for_count(1) == 0`` (a singleton needs no index) and
+    ``bits_for_count(0) == 0``.  For ``k >= 2`` this is ``ceil(log2 k)``.
+
+    >>> bits_for_count(8)
+    3
+    >>> bits_for_count(9)
+    4
+    >>> bits_for_count(1)
+    0
+    """
+    if k < 0:
+        raise ValueError(f"cardinality must be non-negative, got {k}")
+    if k <= 1:
+        return 0
+    return math.ceil(math.log2(k))
+
+
+def bits_for_value(v: int) -> int:
+    """Bits needed to store the non-negative integer ``v`` itself.
+
+    >>> bits_for_value(0)
+    1
+    >>> bits_for_value(7)
+    3
+    >>> bits_for_value(8)
+    4
+    """
+    if v < 0:
+        raise ValueError(f"value must be non-negative, got {v}")
+    if v == 0:
+        return 1
+    return v.bit_length()
+
+
+@dataclass
+class SizeAccount:
+    """A labelled bit-count breakdown for one data structure.
+
+    Components are named (e.g. ``"first_hop_pointers"``,
+    ``"translation_functions"``) so benchmark tables can report how storage
+    splits across the parts the paper calls out.
+    """
+
+    components: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of all component bit counts."""
+        return sum(self.components.values())
+
+    @property
+    def total_bytes(self) -> float:
+        """Total size in bytes (may be fractional)."""
+        return self.total_bits / 8.0
+
+    def add(self, component: str, bits: int) -> None:
+        """Accumulate ``bits`` into ``component`` (creating it if needed)."""
+        if bits < 0:
+            raise ValueError(f"cannot add negative bits ({bits}) to {component!r}")
+        self.components[component] = self.components.get(component, 0) + bits
+
+    def merge(self, other: "SizeAccount") -> "SizeAccount":
+        """Return a new account combining both breakdowns."""
+        merged = SizeAccount(dict(self.components))
+        for name, bits in other.components.items():
+            merged.add(name, bits)
+        return merged
+
+    def __add__(self, other: "SizeAccount") -> "SizeAccount":
+        return self.merge(other)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.components.items())
+
+    def as_dict(self) -> Mapping[str, int]:
+        """A read-only-ish copy of the breakdown."""
+        return dict(self.components)
+
+    def describe(self) -> str:
+        """Human-readable one-per-line breakdown, largest first."""
+        lines = [
+            f"  {name:<28s} {bits:>12,d} bits"
+            for name, bits in sorted(
+                self.components.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines.append(f"  {'TOTAL':<28s} {self.total_bits:>12,d} bits")
+        return "\n".join(lines)
+
+
+def max_account(accounts: Iterable[SizeAccount]) -> SizeAccount:
+    """The account with the largest total (ties broken arbitrarily).
+
+    Used for "maximal routing table size" style metrics, which is how the
+    paper states its storage bounds.
+    """
+    best: SizeAccount | None = None
+    for account in accounts:
+        if best is None or account.total_bits > best.total_bits:
+            best = account
+    if best is None:
+        raise ValueError("max_account() of empty iterable")
+    return best

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's four problems plus workload inspection:
+
+* ``info``        — generate a workload and print its metric profile
+  (n, Δ, doubling/grid dimension estimates);
+* ``triangulate`` — build the Theorem 3.2 triangulation, report order,
+  worst-pair ratio and an estimate for a node pair;
+* ``labels``      — build the Theorem 3.4 labels, report bit sizes and
+  an estimate for a node pair;
+* ``route``       — build a routing scheme (thm2.1 / thm4.1 / thm4.2 /
+  trivial) on a doubling graph and route sampled packets;
+* ``smallworld``  — sample a small-world model (5.2a / 5.2b / 5.5 /
+  structures) and run queries.
+
+Workloads are chosen with ``--workload`` from the synthetic generators
+(``hypercube``, ``grid``, ``expline``, ``internet``, ``uline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _build_metric(args: argparse.Namespace):
+    from repro import metrics
+
+    n = args.n
+    seed = args.seed
+    if args.workload == "hypercube":
+        return metrics.random_hypercube_metric(n, dim=args.dim, seed=seed)
+    if args.workload == "grid":
+        side = max(2, int(round(n ** (1.0 / args.dim))))
+        return metrics.grid_metric(side, dim=args.dim)
+    if args.workload == "expline":
+        return metrics.exponential_line(n, base=args.base)
+    if args.workload == "internet":
+        return metrics.internet_like_metric(n, seed=seed)
+    if args.workload == "uline":
+        return metrics.uniform_line(n)
+    raise ValueError(f"unknown workload {args.workload!r}")
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="hypercube",
+                        choices=["hypercube", "grid", "expline", "internet", "uline"])
+    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--dim", type=int, default=2)
+    parser.add_argument("--base", type=float, default=2.0,
+                        help="exponential-line base")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.metrics import doubling_dimension, grid_dimension
+
+    metric = _build_metric(args)
+    print(f"workload      {args.workload}")
+    print(f"n             {metric.n}")
+    print(f"min distance  {metric.min_distance():.6g}")
+    print(f"diameter      {metric.diameter():.6g}")
+    print(f"aspect ratio  {metric.aspect_ratio():.6g} "
+          f"(log2 = {np.log2(metric.aspect_ratio()):.1f})")
+    print(f"doubling dim  ~{doubling_dimension(metric, sample_centers=24):.2f}")
+    print(f"grid dim      ~{grid_dimension(metric, sample_centers=24):.2f}")
+    return 0
+
+
+def _cmd_triangulate(args: argparse.Namespace) -> int:
+    from repro.labeling import RingTriangulation
+
+    metric = _build_metric(args)
+    tri = RingTriangulation(metric, delta=args.delta)
+    print(f"order            {tri.order} (mean {tri.mean_order():.1f})")
+    print(f"worst D+/D-      {tri.worst_ratio():.4f}")
+    print(f"certified bound  {tri.certified_ratio_bound():.4f}")
+    u, v = args.pair
+    print(f"d({u},{v})       {metric.distance(u, v):.6g}")
+    print(f"estimate         {tri.estimate(u, v):.6g}")
+    return 0
+
+
+def _cmd_labels(args: argparse.Namespace) -> int:
+    from repro.labeling import RingDLS
+
+    metric = _build_metric(args)
+    dls = RingDLS(metric, delta=args.delta)
+    print(f"max label bits   {dls.max_label_bits():,}")
+    print(f"mean label bits  {dls.mean_label_bits():,.0f}")
+    print(f"max |T_u|        {dls.max_virtual_neighbors()}")
+    u, v = args.pair
+    print(f"d({u},{v})       {metric.distance(u, v):.6g}")
+    print(f"estimate         {dls.estimate(u, v):.6g}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.graphs import knn_geometric_graph
+    from repro.metrics.graphmetric import ShortestPathMetric
+    from repro.routing import (
+        LabelRouting,
+        RingRouting,
+        TrivialRouting,
+        TwoModeRouting,
+        evaluate_scheme,
+    )
+
+    graph = knn_geometric_graph(args.n, k=args.k, seed=args.seed)
+    metric = ShortestPathMetric(graph)
+    if args.scheme == "trivial":
+        scheme = TrivialRouting(graph)
+    elif args.scheme == "thm2.1":
+        scheme = RingRouting(graph, delta=args.delta, metric=metric)
+    elif args.scheme == "thm4.1":
+        scheme = LabelRouting(graph, delta=args.delta,
+                              estimator="triangulation", metric=metric)
+    else:
+        scheme = TwoModeRouting(graph, delta=args.delta, metric=metric)
+    stats = evaluate_scheme(
+        scheme, metric.matrix, sample_pairs=args.packets, seed=args.seed
+    )
+    print(f"scheme        {args.scheme}")
+    print(f"delivery      {stats.delivery_rate:.1%}")
+    print(f"max stretch   {stats.max_stretch:.4f}")
+    print(f"mean stretch  {stats.mean_stretch:.4f}")
+    print(f"table bits    {stats.max_table_bits:,}")
+    print(f"header bits   {stats.max_header_bits:,}")
+    return 0
+
+
+def _cmd_smallworld(args: argparse.Namespace) -> int:
+    from repro.graphs import grid_graph
+    from repro.metrics.graphmetric import ShortestPathMetric
+    from repro.smallworld import (
+        GreedyRingsModel,
+        GroupStructuresModel,
+        PrunedRingsModel,
+        SingleLinkModel,
+        evaluate_model,
+    )
+
+    if args.model == "5.5":
+        side = max(2, int(round(args.n**0.5)))
+        graph = grid_graph(side)
+        metric = ShortestPathMetric(graph)
+        model = SingleLinkModel(metric, graph)
+    else:
+        metric = _build_metric(args)
+        if args.model == "5.2a":
+            model = GreedyRingsModel(metric, c=args.c)
+        elif args.model == "5.2b":
+            model = PrunedRingsModel(metric, c=args.c)
+        else:
+            model = GroupStructuresModel(metric)
+    stats = evaluate_model(model, sample_queries=args.queries, seed=args.seed)
+    print(f"model        {args.model}")
+    print(f"completion   {stats.completion_rate:.1%}")
+    print(f"max hops     {stats.max_hops}")
+    print(f"mean hops    {stats.mean_hops:.2f}")
+    print(f"out-degree   {stats.max_out_degree} (mean {stats.mean_out_degree:.1f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rings of neighbors (Slivkins, PODC 2005) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print a workload's metric profile")
+    _add_workload_arguments(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_tri = sub.add_parser("triangulate", help="Theorem 3.2 triangulation")
+    _add_workload_arguments(p_tri)
+    p_tri.add_argument("--delta", type=float, default=0.3)
+    p_tri.add_argument("--pair", type=int, nargs=2, default=(0, 1))
+    p_tri.set_defaults(func=_cmd_triangulate)
+
+    p_lab = sub.add_parser("labels", help="Theorem 3.4 distance labels")
+    _add_workload_arguments(p_lab)
+    p_lab.add_argument("--delta", type=float, default=0.3)
+    p_lab.add_argument("--pair", type=int, nargs=2, default=(0, 1))
+    p_lab.set_defaults(func=_cmd_labels)
+
+    p_route = sub.add_parser("route", help="compact routing on a kNN graph")
+    p_route.add_argument("--scheme", default="thm2.1",
+                         choices=["trivial", "thm2.1", "thm4.1", "thm4.2"])
+    p_route.add_argument("--n", type=int, default=96)
+    p_route.add_argument("--k", type=int, default=4)
+    p_route.add_argument("--delta", type=float, default=0.25)
+    p_route.add_argument("--packets", type=int, default=300)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.set_defaults(func=_cmd_route)
+
+    p_sw = sub.add_parser("smallworld", help="searchable small worlds")
+    _add_workload_arguments(p_sw)
+    p_sw.add_argument("--model", default="5.2a",
+                      choices=["5.2a", "5.2b", "5.5", "structures"])
+    p_sw.add_argument("--c", type=float, default=2.0)
+    p_sw.add_argument("--queries", type=int, default=300)
+    p_sw.set_defaults(func=_cmd_smallworld)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

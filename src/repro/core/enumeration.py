@@ -1,0 +1,122 @@
+"""Host/virtual enumerations and translation functions.
+
+The space savings of Theorems 2.1, 3.4 and 4.2 come from replacing
+``ceil(log n)``-bit global node ids with indices into small local sets:
+
+* a **host enumeration** ``φ_u`` numbers the neighbors of u (ring by ring
+  or as one set);
+* a **virtual enumeration** ``ψ_u`` numbers u's *virtual* neighbors
+  (Theorem 3.4's larger helper set);
+* a **translation function** ζ lets a node u convert an index in some
+  other node f's enumeration into an index in u's own enumeration — the
+  triangle of Figure 2: knowing ``φ_u(f)`` and ``ψ_f(w)``, compute
+  ``φ_u(w)``.
+
+All enumerations here are explicit bijections ``set -> [k]`` realized as
+sorted tuples, so indices are deterministic and — crucially for the level-0
+case, where the paper requires all host enumerations to coincide —
+identical across nodes whenever the underlying sets are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+
+
+@dataclass(frozen=True)
+class Enumeration:
+    """A bijection from a node set onto ``[k]`` (sorted-id order)."""
+
+    members: Tuple[NodeId, ...]
+    _index: Dict[NodeId, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.members))
+        object.__setattr__(self, "members", ordered)
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(ordered)})
+
+    @classmethod
+    def of(cls, members: Iterable[NodeId]) -> "Enumeration":
+        return cls(tuple(set(int(m) for m in members)))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def index_of(self, node: NodeId) -> Optional[int]:
+        """φ(node), or None when the node is not enumerated."""
+        return self._index.get(node)
+
+    def node_at(self, index: int) -> NodeId:
+        """φ^{-1}(index)."""
+        return self.members[index]
+
+    def index_bits(self) -> int:
+        """Bits per stored index."""
+        return bits_for_count(len(self.members))
+
+
+class TranslationFunction:
+    """The paper's ζ: pairs of local indices -> a local index.
+
+    For Theorem 2.1, ``zeta(phi_uj(f), psi_f(w)) = phi_u(w)`` whenever the
+    triangle condition holds, null (None) otherwise.  Stored as explicit
+    triples; :meth:`bit_size` charges what the paper charges — either the
+    dense-table cost ``K^2 ceil(log K)`` (Theorem 2.1's encoding) or the
+    triple-list cost (Theorem 3.4's encoding), chosen by the caller.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[int, int], int] = {}
+
+    def define(self, f_index: int, w_in_f: int, w_in_host: int) -> None:
+        existing = self._table.get((f_index, w_in_f))
+        if existing is not None and existing != w_in_host:
+            raise ValueError(
+                f"inconsistent translation for ({f_index},{w_in_f}): "
+                f"{existing} vs {w_in_host}"
+            )
+        self._table[(f_index, w_in_f)] = w_in_host
+
+    def lookup(self, f_index: int, w_in_f: int) -> Optional[int]:
+        """ζ(f_index, w_in_f), or None (the paper's 'null')."""
+        return self._table.get((f_index, w_in_f))
+
+    def entries_with_first(self, f_index: int) -> Dict[int, int]:
+        """All defined pairs ``(w_in_f -> w_in_host)`` for a fixed f.
+
+        Theorem 3.4's decoder scans "all entries of the form (f, ·)".
+        """
+        return {
+            w_in_f: w_host
+            for (fi, w_in_f), w_host in self._table.items()
+            if fi == f_index
+        }
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def dense_bit_size(self, domain_a: int, domain_b: int, codomain: int) -> SizeAccount:
+        """Theorem 2.1 encoding: a dense [K]x[K] -> [K] table."""
+        account = SizeAccount()
+        account.add(
+            "translation_dense", domain_a * domain_b * bits_for_count(codomain)
+        )
+        return account
+
+    def triples_bit_size(
+        self, first_bits: int, second_bits: int, result_bits: int
+    ) -> SizeAccount:
+        """Theorem 3.4 encoding: an ordered list of (x, y, z) triples."""
+        account = SizeAccount()
+        account.add(
+            "translation_triples",
+            len(self._table) * (first_bits + second_bits + result_bits),
+        )
+        return account

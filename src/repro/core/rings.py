@@ -1,0 +1,207 @@
+"""The rings-of-neighbors data structure and its standard builders.
+
+A :class:`Ring` is one scale's worth of neighbor pointers for one node: the
+member list plus the ball (radius) it is drawn from.  A
+:class:`RingsOfNeighbors` maps every node to its rings, indexed by ring
+key (an int scale index, or a tuple for Theorem 5.2(b)'s doubly-indexed
+``Y_{u,i,j}`` rings).
+
+Builders:
+
+* :func:`net_rings` — ``Y_uj = B_u(r_j) ∩ G_j`` (Theorem 2.1, 3.2, 4.1):
+  deterministic, net-based; cardinality bounded by Lemma 1.4.
+* :func:`cardinality_rings` — ``X_ui``: uniform samples from the smallest
+  ball holding ``n/2^i`` nodes (Theorem 5.2).
+* :func:`measure_rings` — samples w.r.t. a doubling measure from balls of
+  exponentially growing radius (Theorem 5.2, 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.metrics.base import MetricSpace
+from repro.metrics.measure import DoublingMeasure
+from repro.metrics.nets import NestedNets
+from repro.rng import SeedLike, ensure_rng
+
+#: Rings are keyed by scale index; Theorem 5.2(b) uses (i, j) tuples.
+RingKey = Hashable
+
+
+@dataclass(frozen=True)
+class Ring:
+    """One ring: the members sampled/selected inside ``B_owner(radius)``."""
+
+    owner: NodeId
+    key: RingKey
+    radius: float
+    members: Tuple[NodeId, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.members
+
+
+class RingsOfNeighbors:
+    """Per-node collections of rings (the paper's overlay structure)."""
+
+    def __init__(self, metric: MetricSpace) -> None:
+        self.metric = metric
+        self._rings: Dict[NodeId, Dict[RingKey, Ring]] = {
+            u: {} for u in range(metric.n)
+        }
+
+    def add_ring(self, ring: Ring) -> None:
+        self._rings[ring.owner][ring.key] = ring
+
+    def ring(self, u: NodeId, key: RingKey) -> Optional[Ring]:
+        """The ring of ``u`` at ``key``, or None."""
+        return self._rings[u].get(key)
+
+    def rings_of(self, u: NodeId) -> Dict[RingKey, Ring]:
+        return self._rings[u]
+
+    def neighbors_of(self, u: NodeId) -> List[NodeId]:
+        """All distinct neighbors of ``u`` across rings (excluding u)."""
+        seen: set[NodeId] = set()
+        out: List[NodeId] = []
+        for ring in self._rings[u].values():
+            for v in ring.members:
+                if v != u and v not in seen:
+                    seen.add(v)
+                    out.append(v)
+        return out
+
+    def out_degree(self, u: NodeId) -> int:
+        """Number of distinct neighbors of ``u``."""
+        return len(self.neighbors_of(u))
+
+    def max_out_degree(self) -> int:
+        return max(self.out_degree(u) for u in range(self.metric.n))
+
+    def max_ring_cardinality(self) -> int:
+        """The paper's K — the largest single ring."""
+        best = 0
+        for per_node in self._rings.values():
+            for ring in per_node.values():
+                best = max(best, len(ring))
+        return best
+
+    def merged_with(self, other: "RingsOfNeighbors") -> "RingsOfNeighbors":
+        """A new structure holding both ring collections.
+
+        Keys are disambiguated by prefixing with the collection index, so
+        combining e.g. X-type and Y-type rings never collides.
+        """
+        merged = RingsOfNeighbors(self.metric)
+        for tag, source in (("a", self), ("b", other)):
+            for u in range(self.metric.n):
+                for key, ring in source.rings_of(u).items():
+                    merged.add_ring(
+                        Ring(ring.owner, (tag, key), ring.radius, ring.members)
+                    )
+        return merged
+
+    def pointer_bits(self, u: NodeId) -> SizeAccount:
+        """Bits to store u's neighbor pointers as global ids (the naive
+        encoding the paper improves on with local enumerations)."""
+        account = SizeAccount()
+        id_bits = bits_for_count(self.metric.n)
+        account.add("global_id_pointers", self.out_degree(u) * id_bits)
+        return account
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def net_rings(
+    metric: MetricSpace,
+    nets: NestedNets,
+    radius_for_level: Callable[[int], float],
+    levels: Optional[Iterable[int]] = None,
+) -> RingsOfNeighbors:
+    """Deterministic rings ``Y_uj = B_u(radius_for_level(j)) ∩ G_j``.
+
+    This is the Theorem 2.1 construction with ``radius_for_level(j) =
+    4Δ/(δ 2^j)`` and the Theorem 4.1 construction with ``2^{j+2}/δ``.
+    """
+    rings = RingsOfNeighbors(metric)
+    level_list = list(levels) if levels is not None else list(range(nets.levels))
+    for u in range(metric.n):
+        for j in level_list:
+            r = radius_for_level(j)
+            members = nets.members_in_ball(j, u, r)
+            rings.add_ring(
+                Ring(u, j, r, tuple(int(x) for x in members))
+            )
+    return rings
+
+
+def cardinality_rings(
+    metric: MetricSpace,
+    samples_per_ring: int,
+    levels: Optional[int] = None,
+    seed: SeedLike = None,
+) -> RingsOfNeighbors:
+    """X-type rings: for each i, uniform samples from ``B_ui`` (§5.1).
+
+    ``B_ui`` is the smallest ball around u containing at least ``n/2^i``
+    nodes; level count defaults to ``ceil(log2 n)``.  Sampling is with
+    replacement, mirroring the paper ("select a node independently and
+    uniformly at random from the ball B_ui; repeat c log n times"); members
+    are deduplicated within a ring.
+    """
+    rng = ensure_rng(seed)
+    n = metric.n
+    if levels is None:
+        levels = max(1, int(np.ceil(np.log2(n))))
+    rings = RingsOfNeighbors(metric)
+    for u in range(n):
+        row = metric.distances_from(u)
+        for i in range(levels):
+            radius = metric.rui(u, i)
+            members = np.flatnonzero(row <= radius)
+            chosen = rng.choice(members, size=samples_per_ring, replace=True)
+            rings.add_ring(
+                Ring(u, i, float(radius), tuple(sorted(set(int(x) for x in chosen))))
+            )
+    return rings
+
+
+def measure_rings(
+    metric: MetricSpace,
+    mu: DoublingMeasure,
+    samples_per_ring: int,
+    seed: SeedLike = None,
+    base_radius: float = 1.0,
+) -> RingsOfNeighbors:
+    """Y-type rings: µ-weighted samples from balls ``B_u(base * 2^j)`` (§5.1).
+
+    One ring per distance scale ``j ∈ [log Δ]``; this is the Theorem 5.2(a)
+    Y-neighbor construction and (with one sample) Theorem 5.5's long-range
+    link distribution.
+    """
+    rng = ensure_rng(seed)
+    levels = metric.log_aspect_ratio()
+    rings = RingsOfNeighbors(metric)
+    for u in range(metric.n):
+        for j in range(levels):
+            radius = base_radius * float(2**j)
+            chosen = mu.sample_from_ball(u, radius, samples_per_ring, rng)
+            rings.add_ring(
+                Ring(u, j, radius, tuple(sorted(set(int(x) for x in chosen))))
+            )
+    return rings

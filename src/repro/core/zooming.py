@@ -1,0 +1,70 @@
+"""Zooming sequences (Theorem 2.1 / 3.4).
+
+For a target node t, the *zooming sequence* is a list of net points that
+"zoom in" on t: ``f_tj ∈ G_j`` lies within the level-j net radius of t.
+Routing uses the sequence as a trail of intermediate targets; distance
+labeling uses it to identify common neighbors without global ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.metrics.nets import NestedNets
+
+
+@dataclass(frozen=True)
+class ZoomingSequence:
+    """``nodes[j]`` is the paper's ``f_tj`` — a level-j net point near t."""
+
+    target: NodeId
+    nodes: Tuple[NodeId, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, j: int) -> NodeId:
+        return self.nodes[j]
+
+
+def net_zooming_sequence(
+    metric: MetricSpace, nets: NestedNets, t: NodeId
+) -> ZoomingSequence:
+    """The Theorem 2.1 zooming sequence: for each level j, the nearest
+    level-j net point (within the net radius of t by the covering
+    property)."""
+    nodes: List[NodeId] = []
+    for j in range(nets.levels):
+        nodes.append(nets.nearest_member(j, t))
+    return ZoomingSequence(target=t, nodes=tuple(nodes))
+
+
+def rui_zooming_sequence(
+    metric: MetricSpace, nets: NestedNets, t: NodeId, levels: int
+) -> ZoomingSequence:
+    """The Theorem 3.4 zooming sequence.
+
+    For each i ∈ [levels] pick ``f_ti ∈ G_l`` with ``l = floor(log2(r_ti/4))``
+    within distance ``r_ti/4`` of t (clamped to level 0 when ``r_ti`` is at
+    the bottom scale; ``f_ti = t`` is possible and fine, per the paper).
+    ``nets`` must be the ascending 2^j-net hierarchy with base_radius equal
+    to the metric's minimum-distance scale used in the Theorem 3.x modules.
+    """
+    import numpy as np
+
+    nodes: List[NodeId] = []
+    for i in range(levels):
+        r_ti = metric.rui(t, i)
+        if r_ti <= 0:
+            nodes.append(t)
+            continue
+        level = int(np.floor(np.log2(r_ti / 4.0 / nets.base_radius)))
+        level = max(0, min(nets.levels - 1, level))
+        candidates = nets.net_array(level)
+        row = metric.distances_from(t)
+        best = int(candidates[row[candidates].argmin()])
+        nodes.append(best)
+    return ZoomingSequence(target=t, nodes=tuple(nodes))

@@ -1,0 +1,110 @@
+"""Distributed r-net construction (Luby-style symmetry breaking).
+
+r-nets are the backbone of every ring family (Theorem 2.1's G_j, 3.2's
+nested nets, 4.1's F_j); constructing them distributedly is the first
+step toward distributed rings.  The protocol is the classic MIS dance on
+the *r-conflict graph* (nodes adjacent iff within distance r):
+
+* every node starts *live*;
+* each round, every live node draws a random priority and sends it to
+  the live nodes in its conflict neighborhood (discovered by probing,
+  cached);
+* a node that beats all its live conflict neighbors **joins the net**
+  and tells them; covered neighbors go inactive.
+
+Expected O(log n) rounds; the result is exactly an r-net (packing because
+two conflict-adjacent nodes can't both be round-winners; covering because
+a node only deactivates when a net member is within r).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro._types import NodeId
+from repro.distributed.simulator import Context, Message, RoundBasedProtocol
+
+
+class DistributedNetProtocol(RoundBasedProtocol):
+    """Construct an r-net over the full node set."""
+
+    def __init__(self, r: float) -> None:
+        if r <= 0:
+            raise ValueError("net radius must be positive")
+        self.r = r
+
+    # -- protocol ----------------------------------------------------------
+
+    def initialize(self, ctx: Context) -> None:
+        for u in range(ctx.n):
+            state = ctx.state[u]
+            state["status"] = "live"  # live | net | covered
+            state["neighbors"] = None  # conflict neighborhood, probed lazily
+            state["priority"] = None
+
+        # Round 0 discovery: each node probes every other node once to
+        # learn its conflict neighborhood.  (Θ(n) probes per node — the
+        # honest cost of having no prior distance knowledge; the gossip
+        # ring protocol shows the cheap-but-partial alternative.)
+        for u in range(ctx.n):
+            neighbors: Set[NodeId] = set()
+            for v in range(ctx.n):
+                if v != u and ctx.probe(u, v) <= self.r:
+                    neighbors.add(v)
+            ctx.state[u]["neighbors"] = neighbors
+
+        self._announce_priorities(ctx)
+
+    def _announce_priorities(self, ctx: Context) -> None:
+        """Every live node draws a fresh priority and tells live neighbors."""
+        for u in range(ctx.n):
+            state = ctx.state[u]
+            if state["status"] != "live":
+                continue
+            state["priority"] = float(ctx.rng.random())
+            for v in state["neighbors"]:
+                if ctx.state[v]["status"] == "live":
+                    ctx.send(u, v, "priority", value=state["priority"])
+
+    def on_round(self, node: NodeId, inbox: List[Message], ctx: Context) -> None:
+        state = ctx.state[node]
+        if state["status"] == "covered":
+            return
+
+        joined_neighbors = [m for m in inbox if m.kind == "joined"]
+        if state["status"] == "live" and joined_neighbors:
+            state["status"] = "covered"
+            return
+
+        if state["status"] != "live":
+            return
+
+        # Compare against every priority received this round (senders were
+        # live when they sent; filtering by their *current* status would
+        # make the outcome depend on intra-round processing order and can
+        # let two conflict-adjacent nodes both win).  (priority, id)
+        # lexicographic order breaks ties deterministically.
+        my_priority = state["priority"]
+        if my_priority is None:
+            return
+        rivals = [
+            (m.payload["value"], m.sender) for m in inbox if m.kind == "priority"
+        ]
+        if all((my_priority, node) > rival for rival in rivals):
+            state["status"] = "net"
+            for v in state["neighbors"]:
+                if ctx.state[v]["status"] == "live":
+                    ctx.send(node, v, "joined")
+        # Losers wait; on_round_end redraws priorities for the next round.
+        state["priority"] = None
+
+    def on_round_end(self, ctx: Context) -> None:
+        self._announce_priorities(ctx)
+
+    def is_done(self, ctx: Context) -> bool:
+        return all(ctx.state[u]["status"] != "live" for u in range(ctx.n))
+
+    # -- result -----------------------------------------------------------
+
+    def net_members(self, ctx: Context) -> List[NodeId]:
+        return sorted(u for u in range(ctx.n) if ctx.state[u]["status"] == "net")

@@ -1,0 +1,171 @@
+"""Gossip-based ring discovery — the §6 coverage-gap experiment.
+
+Target structure: the radius-scaled rings ``Y_uj = B_u(2^j) ∩ membership``
+every construction in the paper needs.  Distributedly, a node cannot
+enumerate a ball; it can only learn node addresses from peers and probe
+the ones it hears about.  The protocol is Meridian-style gossip:
+
+* each node bootstraps with ``k`` random acquaintances;
+* each round it picks a random acquaintance and they exchange (capped)
+  samples of their acquaintance sets;
+* every newly heard-of node is probed once and filed into the ring its
+  distance falls in (rings keep up to ``ring_capacity`` members).
+
+:func:`ring_coverage` scores the result against the *theoretical* rings
+(the exact ball contents): the fraction of scales per node whose ring
+found at least one member, and the fraction of exact members discovered.
+Coverage climbs with gossip rounds but plateaus below 1 at bounded
+capacity — the gap §6 calls bridging "an interesting open question".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.distributed.simulator import Context, Message, RoundBasedProtocol
+from repro.metrics.base import MetricSpace
+
+
+class GossipRingProtocol(RoundBasedProtocol):
+    """Discover radius-scaled rings by acquaintance gossip."""
+
+    def __init__(
+        self,
+        bootstrap: int = 3,
+        exchange: int = 8,
+        ring_capacity: int = 8,
+        rounds: int = 10,
+    ) -> None:
+        if bootstrap < 1 or exchange < 1 or ring_capacity < 1:
+            raise ValueError("bootstrap/exchange/ring_capacity must be positive")
+        self.bootstrap = bootstrap
+        self.exchange = exchange
+        self.ring_capacity = ring_capacity
+        self.rounds_budget = rounds
+        self._round = 0
+
+    # -- ring filing --------------------------------------------------------
+
+    def _ring_index(self, ctx: Context, d: float) -> int:
+        base = ctx.state["__config__"]["base"]
+        if d <= base:
+            return 0
+        return int(math.ceil(math.log2(d / base)))
+
+    def _file(self, ctx: Context, u: NodeId, v: NodeId) -> None:
+        """Probe v once and insert into u's appropriate ring."""
+        state = ctx.state[u]
+        if v == u or v in state["known"]:
+            return
+        d = ctx.probe(u, v)
+        state["known"][v] = d
+        ring = state["rings"].setdefault(self._ring_index(ctx, d), {})
+        if len(ring) < self.ring_capacity:
+            ring[v] = d
+
+    # -- protocol ------------------------------------------------------------
+
+    def initialize(self, ctx: Context) -> None:
+        metric: MetricSpace = ctx._metric
+        ctx.state["__config__"] = {"base": metric.min_distance()}
+        for u in range(ctx.n):
+            state = ctx.state[u]
+            state["known"] = {}
+            state["rings"] = {}
+        for u in range(ctx.n):
+            others = [v for v in range(ctx.n) if v != u]
+            for v in ctx.rng.choice(others, size=min(self.bootstrap, len(others)), replace=False):
+                self._file(ctx, u, int(v))
+        self._round = 0
+        self._kick_off(ctx)
+
+    def _kick_off(self, ctx: Context) -> None:
+        """Each node opens one gossip exchange with a random acquaintance."""
+        for u in range(ctx.n):
+            known = list(ctx.state[u]["known"])
+            if not known:
+                continue
+            peer = int(ctx.rng.choice(known))
+            sample = self._sample_of(ctx, u)
+            ctx.send(u, peer, "exchange", nodes=sample, reply_to=u)
+
+    def _sample_of(self, ctx: Context, u: NodeId) -> List[NodeId]:
+        known = list(ctx.state[u]["known"])
+        if len(known) <= self.exchange:
+            return known
+        return [int(x) for x in ctx.rng.choice(known, size=self.exchange, replace=False)]
+
+    def on_round(self, node: NodeId, inbox: List[Message], ctx: Context) -> None:
+        for message in inbox:
+            if message.kind == "exchange":
+                for v in message.payload["nodes"]:
+                    self._file(ctx, node, v)
+                ctx.send(
+                    node,
+                    message.payload["reply_to"],
+                    "exchange_reply",
+                    nodes=self._sample_of(ctx, node),
+                )
+            elif message.kind == "exchange_reply":
+                for v in message.payload["nodes"]:
+                    self._file(ctx, node, v)
+        if node == ctx.n - 1:
+            self._round += 1
+            if self._round < self.rounds_budget:
+                self._kick_off(ctx)
+
+    def is_done(self, ctx: Context) -> bool:
+        return self._round >= self.rounds_budget
+
+    # -- results --------------------------------------------------------------
+
+    def rings_of(self, ctx: Context, u: NodeId) -> Dict[int, Dict[NodeId, float]]:
+        return ctx.state[u]["rings"]
+
+
+def ring_coverage(
+    metric: MetricSpace,
+    protocol: GossipRingProtocol,
+    ctx: Context,
+    member_cap: int | None = None,
+) -> Tuple[float, float]:
+    """Score gossip rings against the theoretical ball contents.
+
+    Returns ``(scale_coverage, member_recall)``:
+
+    * scale_coverage — fraction of (node, scale) pairs with a non-empty
+      exact ring for which gossip found at least one member;
+    * member_recall — fraction of exact ring members discovered, where
+      each exact ring is truncated to ``member_cap`` (default: the
+      protocol's ring capacity) nearest members, since bounded rings
+      cannot hold more.
+    """
+    cap = member_cap if member_cap is not None else protocol.ring_capacity
+    base = metric.min_distance()
+    levels = metric.log_aspect_ratio() + 1
+
+    scales_hit = scales_total = 0
+    members_hit = members_total = 0
+    for u in range(metric.n):
+        row = metric.distances_from(u)
+        gossip_rings = protocol.rings_of(ctx, u)
+        for j in range(levels):
+            lo = 0.0 if j == 0 else base * 2.0 ** (j - 1)
+            hi = base * 2.0**j
+            exact = [v for v in range(metric.n) if v != u and lo < row[v] <= hi]
+            if not exact:
+                continue
+            exact = sorted(exact, key=lambda v: row[v])[:cap]
+            found = set(gossip_rings.get(j, {}))
+            scales_total += 1
+            if found:
+                scales_hit += 1
+            members_total += len(exact)
+            members_hit += len(found & set(exact))
+    scale_coverage = scales_hit / max(1, scales_total)
+    member_recall = members_hit / max(1, members_total)
+    return scale_coverage, member_recall

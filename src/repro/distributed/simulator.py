@@ -1,0 +1,135 @@
+"""Synchronous round-based message-passing simulator.
+
+The classic PODC model: computation proceeds in rounds; in each round
+every node reads its inbox, updates local state and sends messages that
+arrive at the start of the next round.  Two costs are counted:
+
+* **messages** — every :meth:`Context.send`;
+* **probes** — distance measurements via :meth:`Context.probe` (in a
+  deployed system, an RTT ping).  Nodes know the address space (node
+  ids) but *not* the metric; all distance knowledge must be probed,
+  which is what makes ring construction non-trivial distributedly.
+
+Protocols subclass :class:`RoundBasedProtocol` and keep per-node state in
+``ctx.state[node]`` (a dict); the simulator is deterministic given the
+seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight."""
+
+    sender: NodeId
+    recipient: NodeId
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunStats:
+    """Cost summary of one protocol run."""
+
+    rounds: int
+    messages: int
+    probes: int
+    converged: bool
+
+
+class Context:
+    """Per-run environment handed to the protocol."""
+
+    def __init__(self, metric: MetricSpace, rng) -> None:
+        self._metric = metric
+        self.rng = rng
+        self.n = metric.n
+        #: per-node protocol state
+        self.state: Dict[NodeId, Dict[str, Any]] = defaultdict(dict)
+        self._outbox: List[Message] = []
+        self.messages_sent = 0
+        self.probes = 0
+
+    def send(self, sender: NodeId, recipient: NodeId, kind: str, **payload: Any) -> None:
+        """Queue a message for delivery at the next round."""
+        if not (0 <= recipient < self.n):
+            raise ValueError(f"recipient {recipient} out of range")
+        self._outbox.append(Message(sender, recipient, kind, payload))
+        self.messages_sent += 1
+
+    def probe(self, u: NodeId, v: NodeId) -> float:
+        """Measure d(u, v) — one counted network probe."""
+        self.probes += 1
+        return self._metric.distance(u, v)
+
+    def _drain_outbox(self) -> Dict[NodeId, List[Message]]:
+        inboxes: Dict[NodeId, List[Message]] = defaultdict(list)
+        for message in self._outbox:
+            inboxes[message.recipient].append(message)
+        self._outbox = []
+        return inboxes
+
+
+class RoundBasedProtocol(abc.ABC):
+    """A distributed protocol executed by :class:`SynchronousNetwork`."""
+
+    @abc.abstractmethod
+    def initialize(self, ctx: Context) -> None:
+        """Set up per-node state; may send round-0 messages."""
+
+    @abc.abstractmethod
+    def on_round(self, node: NodeId, inbox: List[Message], ctx: Context) -> None:
+        """One node's step: read inbox, update state, send messages."""
+
+    @abc.abstractmethod
+    def is_done(self, ctx: Context) -> bool:
+        """Global termination predicate (checked between rounds)."""
+
+    def on_round_end(self, ctx: Context) -> None:
+        """Hook after every node has taken its step this round.
+
+        Default: no-op.  Protocols that need a synchronized phase change
+        (e.g. redrawing priorities) override this instead of piggybacking
+        on some specific node's step.
+        """
+
+
+class SynchronousNetwork:
+    """Drives a protocol over a metric's node set."""
+
+    def __init__(
+        self, metric: MetricSpace, protocol: RoundBasedProtocol, seed: SeedLike = None
+    ) -> None:
+        self.metric = metric
+        self.protocol = protocol
+        self.ctx = Context(metric, ensure_rng(seed))
+
+    def run(self, max_rounds: int = 1000) -> RunStats:
+        """Execute until the protocol reports done or the budget ends."""
+        protocol, ctx = self.protocol, self.ctx
+        protocol.initialize(ctx)
+        rounds = 0
+        converged = protocol.is_done(ctx)
+        while not converged and rounds < max_rounds:
+            inboxes = ctx._drain_outbox()
+            for node in range(ctx.n):
+                protocol.on_round(node, inboxes.get(node, []), ctx)
+            protocol.on_round_end(ctx)
+            rounds += 1
+            converged = protocol.is_done(ctx)
+        return RunStats(
+            rounds=rounds,
+            messages=ctx.messages_sent,
+            probes=ctx.probes,
+            converged=converged,
+        )

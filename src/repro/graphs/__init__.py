@@ -1,0 +1,37 @@
+"""Weighted graphs, shortest paths and graph workload generators.
+
+Routing schemes in the paper run on weighted undirected graphs whose
+shortest-path metric is doubling ("doubling graphs", §2).  The routing
+algorithms need two graph services beyond distances:
+
+* per-edge *first-hop pointers*: for a source u and target v, the index of
+  the outgoing edge of u that starts some shortest u-v path (Theorem 2.1
+  stores these with only ``ceil(log Dout)`` bits each);
+* hop-by-hop packet simulation over real edges.
+"""
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import (
+    FirstHopTable,
+    all_pairs_shortest_paths,
+    shortest_path_tree,
+)
+from repro.graphs.generators import (
+    grid_graph,
+    internet_like_graph,
+    knn_geometric_graph,
+    random_geometric_graph,
+    ring_with_chords_graph,
+)
+
+__all__ = [
+    "WeightedGraph",
+    "FirstHopTable",
+    "all_pairs_shortest_paths",
+    "shortest_path_tree",
+    "grid_graph",
+    "internet_like_graph",
+    "knn_geometric_graph",
+    "random_geometric_graph",
+    "ring_with_chords_graph",
+]

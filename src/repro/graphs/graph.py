@@ -1,0 +1,124 @@
+"""Weighted undirected graphs with indexed adjacency.
+
+The routing schemes of §2/§4 address a node's outgoing links by *local
+index* (the paper's enumeration ``φ_u`` of outgoing links), because a
+first-hop pointer stored as a link index costs only ``ceil(log Dout)``
+bits.  :class:`WeightedGraph` therefore keeps, for every node, an ordered
+list of (neighbor, weight) pairs; the position in that list is the link
+index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+
+
+class WeightedGraph:
+    """An undirected graph with positive edge weights and indexed adjacency."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("graph needs at least one node")
+        self._n = n
+        self._adjacency: List[List[Tuple[NodeId, float]]] = [[] for _ in range(n)]
+        self._edge_index: List[Dict[NodeId, int]] = [dict() for _ in range(n)]
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    def add_edge(self, u: NodeId, v: NodeId, weight: float) -> None:
+        """Add the undirected edge ``{u, v}``; re-adding updates the weight."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ValueError(f"edge ({u},{v}) out of range [0,{self._n})")
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        for a, b in ((u, v), (v, u)):
+            idx = self._edge_index[a].get(b)
+            if idx is None:
+                self._edge_index[a][b] = len(self._adjacency[a])
+                self._adjacency[a].append((b, float(weight)))
+            else:
+                self._adjacency[a][idx] = (b, float(weight))
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return v in self._edge_index[u]
+
+    def weight(self, u: NodeId, v: NodeId) -> float:
+        """Weight of edge ``{u, v}``; raises KeyError if absent."""
+        return self._adjacency[u][self._edge_index[u][v]][1]
+
+    def neighbors(self, u: NodeId) -> List[Tuple[NodeId, float]]:
+        """Ordered (neighbor, weight) list; list position is the link index."""
+        return self._adjacency[u]
+
+    def out_degree(self, u: NodeId) -> int:
+        return len(self._adjacency[u])
+
+    def max_out_degree(self) -> int:
+        """The paper's ``Dout``."""
+        return max(self.out_degree(u) for u in range(self._n))
+
+    def link_index(self, u: NodeId, v: NodeId) -> int:
+        """The local index of edge u->v in u's adjacency (paper's φ_u(v))."""
+        return self._edge_index[u][v]
+
+    def link_target(self, u: NodeId, index: int) -> NodeId:
+        """Inverse of :meth:`link_index`: the neighbor behind a link index."""
+        return self._adjacency[u][index][0]
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, float]]:
+        """All undirected edges once, as (u, v, weight) with u < v."""
+        for u in range(self._n):
+            for v, w in self._adjacency[u]:
+                if u < v:
+                    yield u, v, w
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check."""
+        if self._n == 0:
+            return True
+        seen = np.zeros(self._n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v, _ in self._adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        return bool(seen.all())
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Sequence[Tuple[NodeId, NodeId, float]]
+    ) -> "WeightedGraph":
+        """Build a graph from an (u, v, weight) edge list."""
+        graph = cls(n)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    def to_scipy_csr(self):
+        """Sparse CSR adjacency matrix (for Dijkstra)."""
+        from scipy.sparse import csr_matrix
+
+        rows, cols, data = [], [], []
+        for u in range(self._n):
+            for v, w in self._adjacency[u]:
+                rows.append(u)
+                cols.append(v)
+                data.append(w)
+        return csr_matrix((data, (rows, cols)), shape=(self._n, self._n))

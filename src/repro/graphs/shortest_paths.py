@@ -1,0 +1,142 @@
+"""Shortest paths, first-hop pointers and shortest-path trees.
+
+Theorem 2.1's routing forwards packets along *first-hop pointers*: "the
+first edge of some shortest uv-path in G", stored as a local link index
+(``ceil(log Dout)`` bits).  :class:`FirstHopTable` materializes those
+pointers for all pairs from one Dijkstra run per source, with the crucial
+consistency property the proof of Claim 2.4(c) relies on: if the first hop
+from u toward w is v, then following first hops from v also reaches w along
+a shortest path (shortest-path subpath optimality, which holds because all
+pointers are derived from the same predecessor forest).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.graphs.graph import WeightedGraph
+
+
+def all_pairs_shortest_paths(graph: WeightedGraph) -> np.ndarray:
+    """Dense APSP distance matrix via scipy Dijkstra."""
+    from scipy.sparse.csgraph import dijkstra
+
+    return dijkstra(graph.to_scipy_csr(), directed=False)
+
+
+def _predecessors(graph: WeightedGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Distances and predecessor matrix (pred[s, v] = parent of v in the
+    shortest-path tree rooted at s)."""
+    from scipy.sparse.csgraph import dijkstra
+
+    dist, pred = dijkstra(graph.to_scipy_csr(), directed=False, return_predecessors=True)
+    return dist, pred
+
+
+class FirstHopTable:
+    """First hops of shortest paths for all (source, target) pairs.
+
+    ``first_hop(u, t)`` is the neighbor of u on a shortest u-t path;
+    ``first_hop_link(u, t)`` the corresponding local link index — the form
+    Theorem 2.1 stores.  Hops are consistent across nodes (see module
+    docstring), so chaining them always traces an exact shortest path.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.dist, self._pred = _predecessors(graph)
+        if not np.all(np.isfinite(self.dist)):
+            raise ValueError("graph is not connected")
+        n = graph.n
+        # first[s, v] = first hop on the shortest s->v path.  From the
+        # predecessor matrix of source s: walk v's ancestry toward s once,
+        # memoizing along the way (amortized O(n) per source).
+        self._first = np.full((n, n), -1, dtype=np.int64)
+        for s in range(n):
+            first_s = self._first[s]
+            first_s[s] = s
+            pred_s = self._pred[s]
+            for v in range(n):
+                if first_s[v] >= 0:
+                    continue
+                chain = []
+                x = v
+                while first_s[x] < 0:
+                    chain.append(x)
+                    x = pred_s[x]
+                # x is now either s or a node with known first hop.
+                hop = chain[-1] if x == s else first_s[x]
+                for node in chain:
+                    first_s[node] = hop
+        # Symmetric view: hop from u toward t = first[u, t].
+        # (dijkstra with directed=False on an undirected graph gives
+        # per-source trees; first[u][t] is the hop out of u.)
+
+    def distance(self, u: NodeId, t: NodeId) -> float:
+        return float(self.dist[u, t])
+
+    def first_hop(self, u: NodeId, t: NodeId) -> NodeId:
+        """Neighbor of u on a shortest u->t path (u itself when u == t)."""
+        return int(self._first[u, t])
+
+    def first_hop_link(self, u: NodeId, t: NodeId) -> Optional[int]:
+        """Local link index of the first hop, or None when u == t."""
+        if u == t:
+            return None
+        return self.graph.link_index(u, self.first_hop(u, t))
+
+    def trace_path(self, u: NodeId, t: NodeId) -> List[NodeId]:
+        """The full shortest path from u to t following first hops."""
+        path = [u]
+        current = u
+        while current != t:
+            current = self.first_hop(current, t)
+            path.append(current)
+            if len(path) > self.graph.n:
+                raise RuntimeError("first-hop pointers do not converge")
+        return path
+
+    def path_hops(self, u: NodeId, t: NodeId) -> int:
+        """Number of edges on the traced shortest path."""
+        return len(self.trace_path(u, t)) - 1
+
+
+def shortest_path_tree(
+    graph: WeightedGraph, root: NodeId, members: Optional[np.ndarray] = None
+) -> Dict[NodeId, NodeId]:
+    """Parent map of the shortest-path tree rooted at ``root``.
+
+    When ``members`` is given, the tree is computed in the *induced
+    subgraph* on those nodes (needed by Theorem 4.2's mode M2, where the
+    nodes of a packing ball B maintain a tree among themselves).  Plain
+    Dijkstra restricted to the member set.
+    """
+    import heapq
+
+    n = graph.n
+    allowed = np.ones(n, dtype=bool)
+    if members is not None:
+        allowed[:] = False
+        allowed[np.asarray(members, dtype=int)] = True
+        if not allowed[root]:
+            raise ValueError("root must belong to members")
+    dist = np.full(n, np.inf)
+    parent: Dict[NodeId, NodeId] = {root: root}
+    dist[root] = 0.0
+    heap: List[Tuple[float, NodeId]] = [(0.0, root)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbors(u):
+            if not allowed[v]:
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return parent

@@ -1,0 +1,32 @@
+"""Triangulation and distance labeling (paper §3).
+
+* :mod:`~repro.labeling.encoding` — the mantissa/exponent distance codes
+  that let labels store a (1+δ)-approximate distance in
+  ``O(log 1/δ) + O(log log Δ)`` bits.
+* :mod:`~repro.labeling.beacons` — the common-beacon-set
+  (ε,δ)-triangulation baseline of [33, 50] that Theorem 3.2 improves on.
+* :mod:`~repro.labeling.triangulation` — Theorem 3.2: a
+  (0,δ)-triangulation of order ``(1/δ)^O(α) log n`` via X-neighbors
+  ((ε,µ)-packing representatives) and Y-neighbors (net points at the
+  r_ui scale), plus the derived distance labeling scheme that matches
+  Mendel & Har-Peled [44].
+* :mod:`~repro.labeling.dls` — Theorem 3.4: the
+  ``O_{α,δ}(log n)(log log Δ)``-bit scheme that eliminates global node
+  ids with virtual neighbors, zooming sequences and translation maps.
+"""
+
+from repro.labeling.encoding import DistanceCodec, DistanceCode
+from repro.labeling.beacons import BeaconTriangulation
+from repro.labeling.triangulation import RingTriangulation, TriangulationDLS
+from repro.labeling.dls import RingDLS
+from repro.labeling.thorup_zwick import ThorupZwickOracle
+
+__all__ = [
+    "DistanceCodec",
+    "DistanceCode",
+    "BeaconTriangulation",
+    "RingTriangulation",
+    "TriangulationDLS",
+    "RingDLS",
+    "ThorupZwickOracle",
+]

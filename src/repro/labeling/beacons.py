@@ -1,0 +1,110 @@
+"""Common-beacon-set (ε,δ)-triangulation — the [33, 50] baseline.
+
+"Triangulation of order k is a labeling of the nodes such that a label of
+a given node u consists of distances from u to each node in a beacon set
+S_u of at most k other nodes" (§1).  The earlier distributed constructions
+[33, 50] give *all nodes the same beacon set*, which yields an
+(ε,δ)-triangulation: the quality guarantee fails for an ε-fraction of node
+pairs.  Theorem 3.2's whole point is removing that ε; this module exists
+as the baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.labeling.encoding import DistanceCodec
+from repro.metrics.base import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+class BeaconTriangulation:
+    """Triangulation where every node's beacon set is the same k nodes.
+
+    Estimates for a pair (u, v):
+
+    * upper bound  D+ = min_b (d_ub + d_vb)
+    * lower bound  D- = max_b |d_ub - d_vb|
+
+    Both are exact consequences of the triangle inequality; D+/D- <= 1+δ
+    holds for "most" pairs only, and :meth:`epsilon_for_delta` measures the
+    failing fraction ε empirically.
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        k: int,
+        beacons: Optional[Sequence[NodeId]] = None,
+        seed: SeedLike = None,
+        mantissa_bits: int = 12,
+    ) -> None:
+        if k < 1:
+            raise ValueError("need at least one beacon")
+        self.metric = metric
+        if beacons is None:
+            rng = ensure_rng(seed)
+            beacons = rng.choice(metric.n, size=min(k, metric.n), replace=False)
+        self.beacons = np.asarray(sorted(int(b) for b in beacons), dtype=int)
+        self.codec = DistanceCodec.for_metric(metric, mantissa_bits)
+        # labels[u, j] = stored (quantized) distance from u to beacon j.
+        self._labels = np.zeros((metric.n, len(self.beacons)))
+        for u in range(metric.n):
+            row = metric.distances_from(u)
+            for j, b in enumerate(self.beacons):
+                self._labels[u, j] = self.codec.roundtrip(float(row[b]))
+
+    @property
+    def order(self) -> int:
+        """The triangulation order (beacons per node)."""
+        return len(self.beacons)
+
+    def label(self, u: NodeId) -> np.ndarray:
+        """Stored beacon distances of u."""
+        return self._labels[u]
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        account = SizeAccount()
+        account.add("beacon_ids", self.order * bits_for_count(self.metric.n))
+        account.add("beacon_distances", self.order * self.codec.bits_per_distance)
+        return account
+
+    def bounds(self, u: NodeId, v: NodeId) -> Tuple[float, float]:
+        """(D-, D+) for the pair, from labels only."""
+        lu, lv = self._labels[u], self._labels[v]
+        upper = float(np.min(lu + lv))
+        lower = float(np.max(np.abs(lu - lv)))
+        return lower, upper
+
+    def estimate(self, u: NodeId, v: NodeId) -> float:
+        """The distance estimate (the upper bound D+, as in the paper)."""
+        if u == v:
+            return 0.0
+        return self.bounds(u, v)[1]
+
+    def epsilon_for_delta(self, delta: float) -> float:
+        """Fraction of pairs with D+/D- > 1 + delta (the ε in (ε,δ))."""
+        n = self.metric.n
+        failing = 0
+        total = 0
+        for u in range(n):
+            for v in range(u + 1, n):
+                lower, upper = self.bounds(u, v)
+                total += 1
+                if lower <= 0 or upper / lower > 1 + delta:
+                    failing += 1
+        return failing / max(1, total)
+
+    def worst_ratio(self) -> float:
+        """Max over pairs of D+/D- (inf when some D- is 0)."""
+        worst = 1.0
+        for u, v in self.metric.pairs():
+            lower, upper = self.bounds(u, v)
+            if lower <= 0:
+                return float("inf")
+            worst = max(worst, upper / lower)
+        return worst

@@ -1,0 +1,355 @@
+"""Theorem 3.4 — distance labeling in ``O_{α,δ}(log n)(log log Δ)`` bits.
+
+This is the paper's flagship labeling result: it removes the
+``ceil(log n)``-bit global node ids from the Theorem 3.2 labels.  A label
+stores only
+
+* per-scale arrays of **quantized distances** to the X/Y-neighbors (no
+  ids — a neighbor is referred to by its position in its scale segment);
+* **translation maps** ζ_ui: knowing the position of a node f in u's
+  level-i segments and the index of w in f's *virtual enumeration*,
+  produce w's position in u's level-(i+1) segments;
+* the **zooming sequence** f_u, where ``f_u0`` is given by its position in
+  the (globally coinciding) level-0 segment and each ``f_{u,i}`` by its
+  index in the virtual enumeration of ``f_{u,i-1}`` (Claim 3.5(c)
+  guarantees that index exists).
+
+*Virtual neighbors* (the set T_u) are the paper's trick for keeping those
+indices short: ``T_u = X_u ∪ Z_u ∪ (∪_{v ∈ X_u} Z_v)`` where
+``Z_uj = B_u(2^j) ∩ G_{max(0, floor(log2(2^j δ/64)))}``, so
+``|T_u| = O_{α,δ}(log n · log Δ)`` and an index costs
+``O(log log n + log log Δ)`` bits.
+
+Decoding (two labels only, no ids): identify both zooming sequences level
+by level through the translation maps of *both* labels; every identified
+node is a common neighbor with known stored distances; additionally scan
+the translation maps for entries keyed by an identified f — matching
+virtual indices on both sides identify more common neighbors (this is how
+the proof's near-optimal common neighbor w0 is found).  The estimate is
+D+ = min over identified common neighbors b of (d_ub + d_vb); the paper's
+analysis makes it a (1+O(δ))-approximation for every pair.
+
+Level-0 segments coincide across nodes by the ScaleStructure convention,
+so positions in them are globally meaningful — the decoder seeds both
+chains from them and also harvests every level-0 member directly (this
+covers the boundary case where the pair's critical scale is i = 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.labeling._scales import ScaleStructure
+from repro.labeling.encoding import DistanceCodec
+from repro.metrics.base import MetricSpace
+
+#: A position in a node's per-scale segments: (segment type, level, index).
+SegmentPointer = Tuple[str, int, int]
+
+
+@dataclass
+class NodeLabel:
+    """The Theorem 3.4 label of one node (id-free).
+
+    ``segments[(typ, i)]`` is the tuple of quantized distances to that
+    scale's neighbors, in segment order.  ``zeta[i]`` maps
+    ``(pointer_at_level_i, virtual_index) -> pointer_at_level_i_plus_1``.
+    """
+
+    segments: Dict[Tuple[str, int], Tuple[float, ...]]
+    zeta: Dict[int, Dict[Tuple[SegmentPointer, int], SegmentPointer]]
+    zoom0: SegmentPointer
+    zoom_virtual_indices: Tuple[Optional[int], ...]
+    size: SizeAccount
+
+    def distance_at(self, ptr: SegmentPointer) -> float:
+        typ, level, idx = ptr
+        return self.segments[(typ, level)][idx]
+
+
+class RingDLS:
+    """Theorem 3.4's (1+δ)-approximate distance labeling scheme."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        delta: float,
+        scales: Optional[ScaleStructure] = None,
+        mantissa_bits: Optional[int] = None,
+    ) -> None:
+        if not 0 < delta < 0.5:
+            raise ValueError(f"Theorem 3.4 needs delta in (0, 1/2), got {delta}")
+        self.metric = metric
+        self.delta = delta
+        self.scales = scales if scales is not None else ScaleStructure(metric, delta)
+        if mantissa_bits is None:
+            mantissa_bits = max(4, int(np.ceil(np.log2(8.0 / delta))))
+        self.codec = DistanceCodec.for_metric(metric, mantissa_bits)
+
+        self._z_levels = metric.log_aspect_ratio() + 2
+        self._virtual: List[Tuple[NodeId, ...]] = [
+            self._virtual_neighbors(u) for u in range(metric.n)
+        ]
+        self._virtual_index: List[Dict[NodeId, int]] = [
+            {v: k for k, v in enumerate(t)} for t in self._virtual
+        ]
+        self.labels: List[NodeLabel] = [self._build_label(u) for u in range(metric.n)]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _z_neighbors(self, u: NodeId, j: int) -> Tuple[NodeId, ...]:
+        """``Z_uj = B_u(2^j) ∩ G_l``, ``l = max(0, floor(log2(2^j δ/64)))``.
+
+        Radii are scaled by the metric's minimum distance (the paper
+        normalizes the minimum distance to 1).
+        """
+        scales = self.scales
+        radius = scales.base * float(2**j)
+        level = scales.net_level(radius * self.delta / 64.0)
+        members = scales.nets.members_in_ball(level, u, radius)
+        return tuple(int(x) for x in members)
+
+    def _virtual_neighbors(self, u: NodeId) -> Tuple[NodeId, ...]:
+        """``T_u = X_u ∪ Z_u ∪ (∪_{v ∈ X_u} Z_v)`` as a sorted tuple."""
+        scales = self.scales
+        x_all: set[NodeId] = set()
+        for i in range(scales.levels_n):
+            x_all.update(scales.x_neighbors(u, i))
+        out: set[NodeId] = set(x_all)
+        for v in [u, *x_all]:
+            for j in range(self._z_levels + 1):
+                out.update(self._z_neighbors(v, j))
+        return tuple(sorted(out))
+
+    def _segment_members(self, u: NodeId, typ: str, i: int) -> Tuple[NodeId, ...]:
+        if typ == "X":
+            return self.scales.x_neighbors(u, i)
+        return self.scales.y_neighbors(u, i)
+
+    def _pointers_of(self, u: NodeId, node: NodeId, i: int) -> List[SegmentPointer]:
+        """All segment pointers of ``node`` among u's level-i segments."""
+        out: List[SegmentPointer] = []
+        for typ in ("X", "Y"):
+            members = self._segment_members(u, typ, i)
+            # Segments are sorted tuples; binary search for the position.
+            idx = int(np.searchsorted(members, node))
+            if idx < len(members) and members[idx] == node:
+                out.append((typ, i, idx))
+        return out
+
+    def _build_label(self, u: NodeId) -> NodeLabel:
+        scales = self.scales
+        row = self.metric.distances_from(u)
+        size = SizeAccount()
+
+        segments: Dict[Tuple[str, int], Tuple[float, ...]] = {}
+        for i in range(scales.levels_n):
+            for typ in ("X", "Y"):
+                members = self._segment_members(u, typ, i)
+                segments[(typ, i)] = tuple(
+                    self.codec.roundtrip(float(row[v])) for v in members
+                )
+                size.add(
+                    "neighbor_distances", len(members) * self.codec.bits_per_distance
+                )
+
+        # Per-level pointer maps (node -> its segment pointers at that
+        # level); avoids a binary search per translation entry.
+        pointer_maps: List[Dict[NodeId, List[SegmentPointer]]] = []
+        for i in range(scales.levels_n):
+            level_map: Dict[NodeId, List[SegmentPointer]] = {}
+            for typ in ("X", "Y"):
+                for idx, member in enumerate(self._segment_members(u, typ, i)):
+                    level_map.setdefault(member, []).append((typ, i, idx))
+            pointer_maps.append(level_map)
+
+        zeta: Dict[int, Dict[Tuple[SegmentPointer, int], SegmentPointer]] = {}
+        for i in range(scales.levels_n - 1):
+            table: Dict[Tuple[SegmentPointer, int], SegmentPointer] = {}
+            next_map = pointer_maps[i + 1]
+            ptr_bits = self._pointer_bits(u, i) + self._pointer_bits(u, i + 1)
+            for v, v_ptrs in pointer_maps[i].items():
+                v_virtual = self._virtual_index[v]
+                psi_bits = bits_for_count(len(self._virtual[v]))
+                for w, w_ptrs in next_map.items():
+                    psi = v_virtual.get(w)
+                    if psi is None:
+                        continue
+                    for w_ptr in w_ptrs:
+                        for v_ptr in v_ptrs:
+                            table[(v_ptr, psi)] = w_ptr
+                            size.add("translation_triples", ptr_bits + psi_bits)
+            zeta[i] = table
+
+        # Zooming sequence encoding.
+        zoom = scales.zooming_sequence(u)
+        y0_members = self._segment_members(u, "Y", 0)
+        idx0 = int(np.searchsorted(y0_members, zoom[0]))
+        if idx0 >= len(y0_members) or y0_members[idx0] != zoom[0]:
+            raise RuntimeError(
+                f"zooming anchor f_{u},0 not in the level-0 Y segment "
+                "(ScaleStructure invariant violated)"
+            )
+        zoom0: SegmentPointer = ("Y", 0, idx0)
+        size.add("zoom_anchor", bits_for_count(len(y0_members)))
+
+        virtual_indices: List[Optional[int]] = [None]
+        for i in range(1, scales.levels_n):
+            prev = zoom[i - 1]
+            psi = self._virtual_index[prev].get(zoom[i])
+            # Claim 3.5(c): f_ui is a virtual neighbor of f_{u,i-1}.
+            if psi is None:
+                raise RuntimeError(
+                    f"Claim 3.5(c) violated: f_({u},{i})={zoom[i]} is not a "
+                    f"virtual neighbor of f_({u},{i-1})={prev}"
+                )
+            virtual_indices.append(psi)
+            size.add("zoom_virtual_indices", bits_for_count(len(self._virtual[prev])))
+
+        return NodeLabel(
+            segments=segments,
+            zeta=zeta,
+            zoom0=zoom0,
+            zoom_virtual_indices=tuple(virtual_indices),
+            size=size,
+        )
+
+    def _pointer_bits(self, u: NodeId, i: int) -> int:
+        """Bits for a level-i segment pointer: type flag + index."""
+        longest = max(
+            len(self._segment_members(u, "X", i)),
+            len(self._segment_members(u, "Y", i)),
+        )
+        return 1 + bits_for_count(longest)
+
+    # ------------------------------------------------------------------
+    # Decoding (labels only)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _chain(
+        label_a: NodeLabel, label_b: NodeLabel
+    ) -> List[Tuple[SegmentPointer, SegmentPointer]]:
+        """Identify label_a's zooming sequence inside both labels.
+
+        Returns (pointer in a, pointer in b) pairs; stops at the first
+        level either translation map returns null.
+        """
+        pairs: List[Tuple[SegmentPointer, SegmentPointer]] = []
+        pa = label_a.zoom0
+        pb = label_a.zoom0  # level-0 segments coincide across nodes
+        typ, lvl, idx = pb
+        if idx >= len(label_b.segments.get((typ, lvl), ())):
+            return pairs
+        pairs.append((pa, pb))
+        for i in range(1, len(label_a.zoom_virtual_indices)):
+            psi = label_a.zoom_virtual_indices[i]
+            if psi is None:
+                break
+            table_a = label_a.zeta.get(i - 1, {})
+            table_b = label_b.zeta.get(i - 1, {})
+            next_a = table_a.get((pa, psi))
+            next_b = table_b.get((pb, psi))
+            if next_a is None or next_b is None:
+                break
+            pa, pb = next_a, next_b
+            pairs.append((pa, pb))
+        return pairs
+
+    @staticmethod
+    def _scan_common(
+        label_u: NodeLabel,
+        label_v: NodeLabel,
+        f_u: SegmentPointer,
+        f_v: SegmentPointer,
+    ) -> List[Tuple[SegmentPointer, SegmentPointer]]:
+        """Common neighbors found via translation entries keyed by f.
+
+        Both labels hold entries ``((f, psi) -> w)`` exactly when w is a
+        virtual neighbor of f that is also their own neighbor; a psi
+        present on both sides identifies a *common* neighbor (psi indices
+        refer to f's single, shared virtual enumeration).
+        """
+        level = f_u[1]
+        table_u = label_u.zeta.get(level, {})
+        table_v = label_v.zeta.get(level, {})
+        by_psi_u = {
+            psi: w_ptr for (ptr, psi), w_ptr in table_u.items() if ptr == f_u
+        }
+        out: List[Tuple[SegmentPointer, SegmentPointer]] = []
+        for (ptr, psi), w_ptr_v in table_v.items():
+            if ptr == f_v:
+                w_ptr_u = by_psi_u.get(psi)
+                if w_ptr_u is not None:
+                    out.append((w_ptr_u, w_ptr_v))
+        return out
+
+    def estimate_from_labels(self, label_u: NodeLabel, label_v: NodeLabel) -> float:
+        """D+ from two labels alone."""
+        common: List[Tuple[SegmentPointer, SegmentPointer]] = []
+
+        # Level-0 segments coincide globally: every member is common.
+        for typ in ("X", "Y"):
+            seg_u = label_u.segments.get((typ, 0), ())
+            seg_v = label_v.segments.get((typ, 0), ())
+            for idx in range(min(len(seg_u), len(seg_v))):
+                common.append(((typ, 0, idx), (typ, 0, idx)))
+
+        # Both zooming chains, identified in both labels.
+        chain_u = self._chain(label_u, label_v)
+        chain_v = [(pu, pv) for (pv, pu) in self._chain(label_v, label_u)]
+        common.extend(chain_u)
+        common.extend(chain_v)
+
+        # Harvest extra common neighbors through each identified f.
+        for f_u, f_v in list(chain_u) + list(chain_v):
+            common.extend(self._scan_common(label_u, label_v, f_u, f_v))
+
+        best = float("inf")
+        for ptr_u, ptr_v in common:
+            best = min(best, label_u.distance_at(ptr_u) + label_v.distance_at(ptr_v))
+        return best
+
+    def estimate(self, u: NodeId, v: NodeId) -> float:
+        """Distance estimate for a node pair via their labels."""
+        if u == v:
+            return 0.0
+        return self.estimate_from_labels(self.labels[u], self.labels[v])
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        return self.labels[u].size
+
+    def max_label_bits(self) -> int:
+        return max(label.size.total_bits for label in self.labels)
+
+    def mean_label_bits(self) -> float:
+        return float(np.mean([label.size.total_bits for label in self.labels]))
+
+    def max_virtual_neighbors(self) -> int:
+        """max_u |T_u| — the paper bounds it by O_{α,δ}(log n · log Δ)."""
+        return max(len(t) for t in self._virtual)
+
+    # ------------------------------------------------------------------
+    # Simulation/test helpers (not part of the decoding protocol)
+    # ------------------------------------------------------------------
+
+    def _segment_node_for_test(self, u: NodeId, ptr: SegmentPointer) -> NodeId:
+        """Resolve a segment pointer of u back to the physical node.
+
+        Only tests and the Theorem 4.2 simulator use this — the decoding
+        protocol itself never converts pointers to global ids.
+        """
+        typ, level, idx = ptr
+        return self._segment_members(u, typ, level)[idx]

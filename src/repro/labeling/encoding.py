@@ -1,0 +1,98 @@
+"""Mantissa/exponent distance encoding.
+
+Theorem 3.4 stores each distance "as a O(log 1/δ)-bit mantissa and
+O(log log Δ)-bit exponent", relying on the fact that if x', y' are
+(1+δ)-approximations of x, y then x'+y' approximates x+y — which is why the
+schemes use the *upper* bound D+ and we must round *up* when encoding.
+
+:class:`DistanceCodec` is bound to a metric's distance range: the exponent
+field covers ``[log2(min distance), log2(diameter)]``, so its width is
+``ceil(log2(log2 Δ + O(1)))`` bits, and a ``b``-bit mantissa gives relative
+error at most ``2^(1-b)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bits import bits_for_count
+
+
+@dataclass(frozen=True)
+class DistanceCode:
+    """An encoded distance: value ``mantissa * 2^exponent_scale``.
+
+    ``mantissa == 0`` encodes exactly zero.
+    """
+
+    mantissa: int
+    exponent: int
+
+
+class DistanceCodec:
+    """Round-up floating-point encoding over a fixed distance range."""
+
+    def __init__(
+        self, min_distance: float, max_distance: float, mantissa_bits: int = 8
+    ) -> None:
+        if mantissa_bits < 2:
+            raise ValueError("need at least 2 mantissa bits")
+        if not (0 < min_distance <= max_distance):
+            raise ValueError("need 0 < min_distance <= max_distance")
+        self.mantissa_bits = mantissa_bits
+        # Exponent e is chosen so the scaled mantissa m in [2^(b-1), 2^b)
+        # satisfies m * 2^e >= d.  Smallest e needed: for d = min_distance;
+        # largest: for d slightly above max_distance.
+        # Clamp so 2^e never underflows to 0 (float64 denormal floor).
+        self._e_min = max(-1070, math.floor(math.log2(min_distance)) - mantissa_bits)
+        self._e_max = max(
+            self._e_min, math.ceil(math.log2(max_distance)) - mantissa_bits + 2
+        )
+        self.min_distance = min_distance
+        self.max_distance = max_distance
+
+    @property
+    def exponent_bits(self) -> int:
+        """Bits for the exponent field (offset-encoded)."""
+        return bits_for_count(self._e_max - self._e_min + 1)
+
+    @property
+    def bits_per_distance(self) -> int:
+        """Total bits per stored distance (mantissa + exponent)."""
+        return self.mantissa_bits + self.exponent_bits
+
+    @property
+    def relative_error(self) -> float:
+        """Upper bound on (decoded/true - 1)."""
+        return 2.0 ** (1 - self.mantissa_bits)
+
+    def encode(self, d: float) -> DistanceCode:
+        """Encode ``d`` rounding *up* (decoded value >= d)."""
+        if d < 0:
+            raise ValueError(f"distances are non-negative, got {d}")
+        if d == 0:
+            return DistanceCode(0, self._e_min)
+        e = math.floor(math.log2(d)) - self.mantissa_bits + 1
+        e = max(self._e_min, min(self._e_max, e))
+        mantissa = math.ceil(d / 2.0**e)
+        # Rounding up can push the mantissa to 2^b; renormalize.
+        if mantissa >= 2**self.mantissa_bits:
+            e += 1
+            if e > self._e_max:
+                raise ValueError(f"distance {d} above codec range")
+            mantissa = math.ceil(d / 2.0**e)
+        return DistanceCode(mantissa, e)
+
+    def decode(self, code: DistanceCode) -> float:
+        """The represented value."""
+        return code.mantissa * 2.0**code.exponent
+
+    def roundtrip(self, d: float) -> float:
+        """decode(encode(d)) — the stored approximation of d."""
+        return self.decode(self.encode(d))
+
+    @classmethod
+    def for_metric(cls, metric, mantissa_bits: int = 8) -> "DistanceCodec":
+        """A codec covering a metric's full distance range."""
+        return cls(metric.min_distance(), metric.diameter(), mantissa_bits)

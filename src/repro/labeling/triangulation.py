@@ -1,0 +1,189 @@
+"""Theorem 3.2 — a (0,δ)-triangulation of order ``(1/δ)^O(α) log n``.
+
+The label of node u consists of distances to its *neighbors*: the
+X_i-neighbors (representatives of (2^-i, µ)-packings reachable within
+``r_{u,i-1}``) and the Y_i-neighbors (net points at the δ·r_ui/4 scale
+inside ``B_u(12 r_ui / δ)``), for ``i ∈ [log n]``.
+
+The theorem guarantees that **every** node pair (u, v) has a common
+neighbor within distance δ·d_uv of u or v, so the triangle-inequality
+bounds
+
+    D+ = min_b (d_ub + d_vb)        D- = max_b |d_ub - d_vb|
+
+over common neighbors b satisfy ``D+/D- <= (1+2δ)/(1-2δ)`` for *all*
+pairs — a (0, O(δ))-triangulation, unlike the common-beacon baseline's
+(ε, δ).
+
+:class:`TriangulationDLS` turns the triangulation into the distance
+labeling scheme matching Mendel & Har-Peled [44]: store each neighbor as a
+``(ID, quantized distance)`` pair and return D+.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.labeling._scales import ScaleStructure
+from repro.labeling.encoding import DistanceCodec
+from repro.metrics.base import MetricSpace
+
+
+class RingTriangulation:
+    """The Theorem 3.2 construction.
+
+    Parameters
+    ----------
+    metric:
+        A finite (preferably doubling) metric.
+    delta:
+        The paper's δ ∈ (0, 1/2).
+    scales:
+        Optional pre-built :class:`ScaleStructure` (shared with other
+        constructions over the same metric/δ).
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        delta: float,
+        scales: Optional[ScaleStructure] = None,
+    ) -> None:
+        if not 0 < delta < 0.5:
+            raise ValueError(f"Theorem 3.2 needs delta in (0, 1/2), got {delta}")
+        self.metric = metric
+        self.delta = delta
+        self.scales = scales if scales is not None else ScaleStructure(metric, delta)
+        # label[u]: neighbor -> true distance (quantization is applied by
+        # TriangulationDLS; the raw triangulation keeps exact distances, as
+        # in the paper's definition of a triangulation label).
+        self._labels: list[Dict[NodeId, float]] = []
+        for u in range(metric.n):
+            row = metric.distances_from(u)
+            self._labels.append(
+                {int(b): float(row[b]) for b in self.scales.all_neighbors(u)}
+            )
+
+    # -- structure metrics -------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Triangulation order: the max number of beacons per node."""
+        return max(len(label) for label in self._labels)
+
+    def mean_order(self) -> float:
+        return float(np.mean([len(label) for label in self._labels]))
+
+    def beacons_of(self, u: NodeId) -> Dict[NodeId, float]:
+        """u's beacon set S_u with exact distances."""
+        return self._labels[u]
+
+    # -- estimation ----------------------------------------------------------
+
+    def common_beacons(self, u: NodeId, v: NodeId) -> list[NodeId]:
+        """``S_u ∩ S_v`` (the b's both labels know)."""
+        lu, lv = self._labels[u], self._labels[v]
+        if len(lv) < len(lu):
+            lu, lv = lv, lu
+        return [b for b in lu if b in lv]
+
+    def bounds(self, u: NodeId, v: NodeId) -> Tuple[float, float]:
+        """(D-, D+) over common beacons; (0, inf) when none exist."""
+        lu, lv = self._labels[u], self._labels[v]
+        lower, upper = 0.0, float("inf")
+        for b in self.common_beacons(u, v):
+            du, dv = lu[b], lv[b]
+            upper = min(upper, du + dv)
+            lower = max(lower, abs(du - dv))
+        return lower, upper
+
+    def estimate(self, u: NodeId, v: NodeId) -> float:
+        """Distance estimate D+ (exact-distance labels)."""
+        if u == v:
+            return 0.0
+        return self.bounds(u, v)[1]
+
+    def certified_ratio_bound(self) -> float:
+        """The guaranteed worst-pair D+/D- ratio: (1+2δ)/(1-2δ)."""
+        return (1 + 2 * self.delta) / (1 - 2 * self.delta)
+
+    def has_close_common_beacon(self, u: NodeId, v: NodeId) -> bool:
+        """Theorem 3.2's core guarantee for one pair: a common beacon
+        within δ·d_uv of u or of v."""
+        d = self.metric.distance(u, v)
+        row_u = self.metric.distances_from(u)
+        row_v = self.metric.distances_from(v)
+        limit = self.delta * d + 1e-12 * max(1.0, d)
+        return any(
+            min(float(row_u[b]), float(row_v[b])) <= limit
+            for b in self.common_beacons(u, v)
+        )
+
+    def worst_ratio(self) -> float:
+        """Measured max over all pairs of D+/D-."""
+        worst = 1.0
+        for u, v in self.metric.pairs():
+            lower, upper = self.bounds(u, v)
+            if lower <= 0:
+                return float("inf")
+            worst = max(worst, upper / lower)
+        return worst
+
+
+class TriangulationDLS:
+    """Theorem 3.2's corollary DLS (the Mendel–Har-Peled [44] bound).
+
+    Each neighbor is stored as ``(ceil(log n)-bit ID, quantized
+    distance)``; the estimate is the quantized D+.  Label length is
+    ``O_{α,δ}(log n)(log n + log log Δ)`` bits.
+    """
+
+    def __init__(
+        self,
+        triangulation: RingTriangulation,
+        mantissa_bits: Optional[int] = None,
+    ) -> None:
+        self.triangulation = triangulation
+        metric = triangulation.metric
+        if mantissa_bits is None:
+            # O(log 1/δ)-bit mantissa: relative error 2^(1-b) <= δ/4.
+            mantissa_bits = max(4, int(np.ceil(np.log2(8.0 / triangulation.delta))))
+        self.codec = DistanceCodec.for_metric(metric, mantissa_bits)
+        self._labels: list[Dict[NodeId, float]] = [
+            {b: self.codec.roundtrip(d) for b, d in triangulation.beacons_of(u).items()}
+            for u in range(metric.n)
+        ]
+
+    def label(self, u: NodeId) -> Dict[NodeId, float]:
+        return self._labels[u]
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        account = SizeAccount()
+        n = self.triangulation.metric.n
+        k = len(self._labels[u])
+        account.add("neighbor_ids", k * bits_for_count(n))
+        account.add("neighbor_distances", k * self.codec.bits_per_distance)
+        return account
+
+    def max_label_bits(self) -> int:
+        return max(
+            self.label_bits(u).total_bits for u in range(self.triangulation.metric.n)
+        )
+
+    def estimate(self, u: NodeId, v: NodeId) -> float:
+        """D+ over common stored beacons (labels only)."""
+        if u == v:
+            return 0.0
+        lu, lv = self._labels[u], self._labels[v]
+        if len(lv) < len(lu):
+            lu, lv = lv, lu
+        best = float("inf")
+        for b, du in lu.items():
+            dv = lv.get(b)
+            if dv is not None:
+                best = min(best, du + dv)
+        return best

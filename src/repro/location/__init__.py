@@ -1,0 +1,16 @@
+"""Object location via rings of neighbors.
+
+The paper's title problem: place named objects on nodes so that any node
+can *locate* (find a low-stretch path to) an object's holder using only
+local information.  This is the Plaxton-style DHT setting the paper cites
+through [49, 28, 1] and supports with its net hierarchies: an object
+published at node ``o`` leaves directory pointers at the net points of
+every scale near ``o``; a lookup from ``s`` probes the net points of
+increasing scales near ``s`` until it hits a pointer, paying a total cost
+proportional to ``d(s, o)`` — constant-stretch object location on
+doubling metrics.
+"""
+
+from repro.location.directory import LocateResult, RingObjectLocation
+
+__all__ = ["LocateResult", "RingObjectLocation"]

@@ -1,0 +1,27 @@
+"""Meridian-style closest-node discovery (Wong, Slivkins & Sirer [57]).
+
+§6 of the paper: "rings of neighbors can be used in a distributed system
+as a layer that supports various applications ... practically in Meridian,
+a system for nearest-neighbor and multi-range queries in a peer-to-peer
+network."  This subpackage implements that application on top of
+:mod:`repro.core.rings`: every node keeps multi-resolution rings of
+neighbors; a *closest-node* query greedily hops to the ring member closest
+to the query target, stopping when no member improves the distance by the
+β factor.
+"""
+
+from repro.meridian.rings import MeridianNode, MeridianOverlay
+from repro.meridian.search import ClosestNodeResult, closest_node_search
+from repro.meridian.multiconstraint import (
+    MultiConstraintResult,
+    multi_constraint_search,
+)
+
+__all__ = [
+    "MeridianNode",
+    "MeridianOverlay",
+    "ClosestNodeResult",
+    "closest_node_search",
+    "MultiConstraintResult",
+    "multi_constraint_search",
+]

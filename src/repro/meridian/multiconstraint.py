@@ -1,0 +1,93 @@
+"""Meridian multi-constraint queries ([57], §6 "multi-range queries").
+
+Given a set of targets with per-target latency *constraints*, find an
+overlay node satisfying all of them (e.g. "a server within 30 ms of
+clients A and B and 50 ms of C").  The Meridian protocol routes the query
+greedily on the *violation score*:
+
+    score(v) = Σ_targets max(0, d(v, target) - bound)
+
+hopping to the ring member with the smallest score until it reaches 0
+(success) or no member improves it (failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.meridian.rings import MeridianOverlay
+
+#: One constraint: (target node, latency upper bound).
+Constraint = Tuple[NodeId, float]
+
+
+@dataclass
+class MultiConstraintResult:
+    """Outcome of one multi-constraint query."""
+
+    constraints: List[Constraint]
+    start: NodeId
+    found: Optional[NodeId]
+    path: List[NodeId]
+    final_score: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.found is not None
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def _score(overlay: MeridianOverlay, v: NodeId, constraints: Sequence[Constraint]) -> float:
+    row_getter = overlay.metric.distances_from
+    total = 0.0
+    for target, bound in constraints:
+        total += max(0.0, float(row_getter(v)[target]) - bound)
+    return total
+
+
+def multi_constraint_search(
+    overlay: MeridianOverlay,
+    start: NodeId,
+    constraints: Sequence[Constraint],
+    max_hops: Optional[int] = None,
+) -> MultiConstraintResult:
+    """Greedy violation-score descent over ring members."""
+    constraints = list(constraints)
+    if not constraints:
+        raise ValueError("need at least one constraint")
+    for target, bound in constraints:
+        if not 0 <= target < overlay.metric.n:
+            raise ValueError(f"target {target} out of range")
+        if bound < 0:
+            raise ValueError("latency bounds must be non-negative")
+
+    limit = max_hops if max_hops is not None else 4 * overlay.num_rings + 8
+    current = start
+    path = [start]
+    current_score = _score(overlay, current, constraints)
+    while current_score > 0 and len(path) <= limit:
+        node = overlay.nodes[current]
+        candidates = sorted(set(node.all_members()))
+        if not candidates:
+            break
+        scores = np.array([_score(overlay, v, constraints) for v in candidates])
+        best = int(np.argmin(scores))
+        if scores[best] >= current_score:
+            break  # no ring member improves the violation
+        current = candidates[best]
+        current_score = float(scores[best])
+        path.append(current)
+    return MultiConstraintResult(
+        constraints=constraints,
+        start=start,
+        found=current if current_score == 0 else None,
+        path=path,
+        final_score=current_score,
+    )

@@ -1,0 +1,95 @@
+"""Meridian ring membership.
+
+Each Meridian node keeps ``log Δ`` concentric rings: ring i holds up to
+``k`` neighbors whose distance lies in ``[α·s^{i-1}, α·s^i)`` (the
+innermost ring covers ``[0, α·s^0)``).  Members are chosen at random among
+eligible nodes — the original system refines membership by gossip and a
+diversity criterion; random membership preserves the search behaviour the
+paper's framework needs (a documented simplification).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class MeridianNode:
+    """One node's rings: ring index -> member tuple."""
+
+    node: NodeId
+    rings: Dict[int, Tuple[NodeId, ...]]
+
+    def all_members(self) -> List[NodeId]:
+        out: List[NodeId] = []
+        for members in self.rings.values():
+            out.extend(members)
+        return out
+
+    def out_degree(self) -> int:
+        return len(set(self.all_members()))
+
+
+class MeridianOverlay:
+    """The full overlay: per-node multi-resolution rings."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        ring_base: float = 2.0,
+        nodes_per_ring: int = 8,
+        seed: SeedLike = None,
+    ) -> None:
+        if ring_base <= 1:
+            raise ValueError("ring_base must exceed 1")
+        if nodes_per_ring < 1:
+            raise ValueError("nodes_per_ring must be positive")
+        self.metric = metric
+        self.ring_base = ring_base
+        self.nodes_per_ring = nodes_per_ring
+        rng = ensure_rng(seed)
+
+        self._inner_radius = metric.min_distance()
+        self.num_rings = (
+            int(
+                math.ceil(
+                    math.log(metric.diameter() / self._inner_radius, ring_base)
+                )
+            )
+            + 2
+        )
+        self.nodes: List[MeridianNode] = []
+        for u in range(metric.n):
+            row = metric.distances_from(u)
+            rings: Dict[int, Tuple[NodeId, ...]] = {}
+            for i in range(self.num_rings):
+                lo = 0.0 if i == 0 else self._inner_radius * ring_base ** (i - 1)
+                hi = self._inner_radius * ring_base**i
+                eligible = np.flatnonzero((row > lo) & (row <= hi))
+                eligible = eligible[eligible != u]
+                if eligible.size == 0:
+                    continue
+                take = min(self.nodes_per_ring, eligible.size)
+                members = rng.choice(eligible, size=take, replace=False)
+                rings[i] = tuple(sorted(int(x) for x in members))
+            self.nodes.append(MeridianNode(node=u, rings=rings))
+
+    def ring_of_distance(self, d: float) -> int:
+        """The ring index a node at distance d falls into."""
+        if d <= self._inner_radius:
+            return 0
+        return int(math.ceil(math.log(d / self._inner_radius, self.ring_base)))
+
+    def max_out_degree(self) -> int:
+        return max(node.out_degree() for node in self.nodes)
+
+    def mean_out_degree(self) -> float:
+        return float(np.mean([node.out_degree() for node in self.nodes]))

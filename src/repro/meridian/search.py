@@ -1,0 +1,100 @@
+"""Meridian closest-node search.
+
+Given a *query target* q (any point for which nodes can measure their
+distance — in the real system, an arbitrary Internet host), the search
+starts at some node u, asks the members of u's rings near the scale
+``d(u, q)`` for their distances to q, and forwards the query to the best
+member provided it improves the distance by the acceptance factor β;
+otherwise u is returned as the (approximately) closest node.
+
+In the simulation the target is a held-out node of the metric, and
+"measuring" a distance is a metric lookup — the same information flow as
+the real protocol's direct probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.meridian.rings import MeridianOverlay
+
+
+@dataclass
+class ClosestNodeResult:
+    """Outcome of one closest-node query."""
+
+    target: NodeId
+    start: NodeId
+    found: NodeId
+    path: List[NodeId]
+    distance: float  # d(found, target)
+    optimal_distance: float  # min over candidate nodes of d(v, target)
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def approximation(self) -> float:
+        """d(found, q) / min_v d(v, q); 1.0 means exact."""
+        if self.optimal_distance == 0:
+            return 1.0 if self.distance == 0 else float("inf")
+        return self.distance / self.optimal_distance
+
+
+def closest_node_search(
+    overlay: MeridianOverlay,
+    start: NodeId,
+    target: NodeId,
+    beta: float = 0.5,
+    max_hops: Optional[int] = None,
+) -> ClosestNodeResult:
+    """Find the overlay node closest to ``target`` (excluded as a relay).
+
+    ``beta`` is Meridian's acceptance threshold: the query moves to a ring
+    member v only if ``d(v, q) <= beta * d(u, q)``.
+    """
+    if not 0 < beta < 1:
+        raise ValueError("beta must be in (0, 1)")
+    metric = overlay.metric
+    limit = max_hops if max_hops is not None else 4 * overlay.num_rings + 8
+    row_q = metric.distances_from(target)
+
+    current = start
+    path = [start]
+    while len(path) <= limit:
+        d_uq = float(row_q[current])
+        if d_uq == 0:
+            break
+        node = overlay.nodes[current]
+        ring_idx = overlay.ring_of_distance(d_uq)
+        # Probe the rings within one scale of d(u, q), as Meridian does.
+        candidates: List[NodeId] = []
+        for i in range(max(0, ring_idx - 1), min(overlay.num_rings, ring_idx + 2)):
+            candidates.extend(node.rings.get(i, ()))
+        candidates = [v for v in set(candidates) if v != target]
+        if not candidates:
+            break
+        dists = np.array([row_q[v] for v in candidates])
+        best = int(np.argmin(dists))
+        if dists[best] <= beta * d_uq:
+            current = candidates[best]
+            path.append(current)
+        else:
+            break
+
+    optimal = float(
+        min(row_q[v] for v in range(metric.n) if v != target)
+    )
+    return ClosestNodeResult(
+        target=target,
+        start=start,
+        found=current,
+        path=path,
+        distance=float(row_q[current]),
+        optimal_distance=optimal,
+    )

@@ -1,0 +1,198 @@
+"""Abstract finite metric space.
+
+Every algorithm in this library sees its input through this interface.
+Nodes are dense integer ids ``0..n-1``.  Subclasses implement
+:meth:`MetricSpace.distances_from` (a vectorized row of distances); the
+base class derives pairwise distances, closed balls ``B_u(r)``, the radii
+``r_u(eps)`` of the paper's §1.1 ("the radius of the smallest closed ball
+around u that contains at least eps*n nodes"), diameter, minimum positive
+distance and aspect ratio ``Δ``.
+
+Per-node sorted distance rows are cached lazily, making ball-cardinality
+and ``r_u`` queries O(log n) after the first touch of a node.  The library
+targets laptop-scale instances (n up to a few thousand), for which this is
+both simple and fast.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+
+
+class MetricSpace(abc.ABC):
+    """A finite metric space on nodes ``0..n-1``.
+
+    Subclasses must implement :attr:`n` and :meth:`distances_from`.
+    The triangle inequality and symmetry are assumed (and property-tested
+    for every concrete metric shipped in this package).
+    """
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of nodes."""
+
+    @abc.abstractmethod
+    def distances_from(self, u: NodeId) -> np.ndarray:
+        """Vector of distances from ``u`` to every node (length ``n``).
+
+        Must satisfy ``row[u] == 0`` and symmetry with other rows.  The
+        returned array must be treated as read-only by callers.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+
+    def __init__(self) -> None:
+        self._sorted_rows: Dict[NodeId, np.ndarray] = {}
+        self._extremes: Optional[Tuple[float, float]] = None
+
+    def __len__(self) -> int:
+        return self.n
+
+    def nodes(self) -> range:
+        """Iterate node ids."""
+        return range(self.n)
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Distance between ``u`` and ``v``."""
+        return float(self.distances_from(u)[v])
+
+    def pairs(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """All unordered node pairs ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                yield u, v
+
+    # -- balls ----------------------------------------------------------
+
+    def ball(self, u: NodeId, r: float, open_ball: bool = False) -> np.ndarray:
+        """Node ids in the closed (default) or open ball of radius ``r``.
+
+        The paper's ``B_u(r)`` is the *closed* ball (§1.1); the open
+        variant is needed by Theorem 3.2, whose X/Y-neighbors live in open
+        balls.
+        """
+        row = self.distances_from(u)
+        if open_ball:
+            return np.flatnonzero(row < r)
+        return np.flatnonzero(row <= r)
+
+    def ball_size(self, u: NodeId, r: float, open_ball: bool = False) -> int:
+        """Cardinality of ``B_u(r)`` in O(log n) via the sorted row cache."""
+        sorted_row = self._sorted_row(u)
+        side = "left" if open_ball else "right"
+        return int(np.searchsorted(sorted_row, r, side=side))
+
+    def _sorted_row(self, u: NodeId) -> np.ndarray:
+        cached = self._sorted_rows.get(u)
+        if cached is None:
+            cached = np.sort(self.distances_from(u))
+            self._sorted_rows[u] = cached
+        return cached
+
+    # -- r_u(eps) radii (paper §1.1) -------------------------------------
+
+    def radius_for_count(self, u: NodeId, k: int) -> float:
+        """Radius of the smallest closed ball around ``u`` with >= k nodes.
+
+        ``k`` is clamped to ``[1, n]``.  Note ``radius_for_count(u, 1) == 0``
+        since the closed ball of radius 0 contains ``u`` itself.
+        """
+        k = max(1, min(self.n, k))
+        return float(self._sorted_row(u)[k - 1])
+
+    def radius_for_fraction(self, u: NodeId, eps: float) -> float:
+        """The paper's ``r_u(eps)``: smallest radius capturing measure eps.
+
+        With the counting probability measure this is the radius of the
+        smallest closed ball containing at least ``ceil(eps * n)`` nodes.
+        """
+        k = int(np.ceil(eps * self.n))
+        return self.radius_for_count(u, k)
+
+    def rui(self, u: NodeId, i: int) -> float:
+        """The paper's ``r_ui = r_u(2^-i)`` (smallest ball with >= n/2^i nodes).
+
+        Used throughout §3 and §5.  ``i = 0`` gives the radius of a ball
+        containing all nodes.
+        """
+        k = int(np.ceil(self.n / float(2**i)))
+        return self.radius_for_count(u, k)
+
+    # -- global shape ----------------------------------------------------
+
+    def _compute_extremes(self) -> Tuple[float, float]:
+        if self._extremes is None:
+            min_d = np.inf
+            max_d = 0.0
+            for u in range(self.n):
+                row = self.distances_from(u)
+                if self.n > 1:
+                    positive = row[np.arange(self.n) != u]
+                    min_d = min(min_d, float(positive.min()))
+                    max_d = max(max_d, float(positive.max()))
+            if self.n <= 1:
+                min_d, max_d = 1.0, 1.0
+            self._extremes = (min_d, max_d)
+        return self._extremes
+
+    def min_distance(self) -> float:
+        """Smallest positive pairwise distance."""
+        return self._compute_extremes()[0]
+
+    def diameter(self) -> float:
+        """Largest pairwise distance."""
+        return self._compute_extremes()[1]
+
+    def aspect_ratio(self) -> float:
+        """``Δ`` = diameter / min positive distance (paper §1.1)."""
+        min_d, max_d = self._compute_extremes()
+        if min_d == 0:
+            raise ValueError("metric has duplicate points; aspect ratio undefined")
+        return max_d / min_d
+
+    def log_aspect_ratio(self) -> int:
+        """``ceil(log2 Δ)``, the number of distance scales, at least 1."""
+        return max(1, int(np.ceil(np.log2(self.aspect_ratio()))))
+
+    # -- misc -------------------------------------------------------------
+
+    def nearest_neighbor(self, u: NodeId) -> NodeId:
+        """The node (other than ``u``) closest to ``u``."""
+        row = self.distances_from(u).copy()
+        row[u] = np.inf
+        return int(np.argmin(row))
+
+    def validate(self, samples: int = 200, seed: int = 0) -> None:
+        """Sanity-check symmetry and the triangle inequality on a sample.
+
+        Raises :class:`ValueError` on violation.  Exhaustive for small n.
+        """
+        rng = np.random.default_rng(seed)
+        n = self.n
+        if n < 2:
+            return
+        triples = rng.integers(0, n, size=(samples, 3))
+        for a, b, c in triples:
+            dab = self.distance(int(a), int(b))
+            dba = self.distance(int(b), int(a))
+            if not np.isclose(dab, dba, rtol=1e-9, atol=1e-12):
+                raise ValueError(f"asymmetry at ({a},{b}): {dab} != {dba}")
+            dac = self.distance(int(a), int(c))
+            dcb = self.distance(int(c), int(b))
+            if dab > dac + dcb + 1e-9 * max(1.0, dab):
+                raise ValueError(
+                    f"triangle violation: d({a},{b})={dab} > "
+                    f"d({a},{c})+d({c},{b})={dac + dcb}"
+                )

@@ -1,0 +1,64 @@
+"""Euclidean (and general l_p) point-set metrics.
+
+Point sets in constant-dimensional l_p spaces are the canonical examples of
+doubling metrics (Assouad [10], cited in the paper's §1): a k-dimensional
+l_p metric has doubling dimension k + O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+
+
+class EuclideanMetric(MetricSpace):
+    """Metric induced by points in ``R^k`` under an l_p norm.
+
+    Distance rows are computed lazily per node and cached, so memory stays
+    O(n * k + touched_rows * n).
+    """
+
+    def __init__(self, points: np.ndarray, p: float = 2.0) -> None:
+        super().__init__()
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[:, None]
+        if points.ndim != 2:
+            raise ValueError(f"points must be an (n, k) array, got {points.shape}")
+        if p < 1:
+            raise ValueError(f"l_p norm requires p >= 1, got {p}")
+        self._points = points
+        self._p = p
+        self._rows: dict[int, np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension ``k``."""
+        return self._points.shape[1]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The point coordinates (treat as read-only)."""
+        return self._points
+
+    def distances_from(self, u: NodeId) -> np.ndarray:
+        row = self._rows.get(u)
+        if row is None:
+            diff = self._points - self._points[u]
+            if self._p == 2.0:
+                row = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            elif np.isinf(self._p):
+                row = np.abs(diff).max(axis=1)
+            else:
+                row = np.power(
+                    np.power(np.abs(diff), self._p).sum(axis=1), 1.0 / self._p
+                )
+            row[u] = 0.0
+            self._rows[u] = row
+        return row

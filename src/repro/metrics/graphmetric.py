@@ -1,0 +1,49 @@
+"""Shortest-path metrics induced by weighted graphs.
+
+The routing results of the paper (§2, §4) work on "doubling graphs":
+weighted undirected graphs whose shortest-path metric has low doubling
+dimension.  :class:`ShortestPathMetric` wraps a
+:class:`repro.graphs.graph.WeightedGraph` and exposes its all-pairs
+shortest-path distances through the :class:`~repro.metrics.base.MetricSpace`
+interface, computed once with Dijkstra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+
+
+class ShortestPathMetric(MetricSpace):
+    """All-pairs shortest-path metric of a weighted undirected graph."""
+
+    def __init__(self, graph) -> None:
+        """``graph`` is a :class:`repro.graphs.graph.WeightedGraph`."""
+        super().__init__()
+        # Local import: repro.graphs imports nothing from repro.metrics, but
+        # keeping the import here makes the layering obvious.
+        from repro.graphs.shortest_paths import all_pairs_shortest_paths
+
+        self._graph = graph
+        self._matrix = all_pairs_shortest_paths(graph)
+        if not np.all(np.isfinite(self._matrix)):
+            raise ValueError("graph is not connected; shortest-path metric undefined")
+
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def graph(self):
+        """The underlying :class:`~repro.graphs.graph.WeightedGraph`."""
+        return self._graph
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The APSP distance matrix (treat as read-only)."""
+        return self._matrix
+
+    def distances_from(self, u: NodeId) -> np.ndarray:
+        return self._matrix[u]

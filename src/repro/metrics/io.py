@@ -1,0 +1,47 @@
+"""Metric persistence.
+
+Benchmark workloads and externally supplied latency matrices are shared
+as ``.npz`` files holding the full distance matrix (plus optional point
+coordinates).  Loading always returns a validated
+:class:`~repro.metrics.matrix.DistanceMatrixMetric`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+from repro.metrics.matrix import DistanceMatrixMetric
+
+PathLike = Union[str, Path]
+
+
+def save_metric(metric: MetricSpace, path: PathLike) -> None:
+    """Persist a metric's distance matrix (and coordinates if Euclidean)."""
+    path = Path(path)
+    rows = np.vstack([metric.distances_from(u) for u in range(metric.n)])
+    rows = (rows + rows.T) / 2.0  # exact symmetry for the reload validator
+    arrays = {"matrix": rows}
+    points = getattr(metric, "points", None)
+    if points is not None:
+        arrays["points"] = np.asarray(points)
+    np.savez_compressed(path, **arrays)
+
+
+def load_metric(path: PathLike) -> DistanceMatrixMetric:
+    """Load a metric saved by :func:`save_metric` (validated on load)."""
+    with np.load(Path(path)) as data:
+        if "matrix" not in data:
+            raise ValueError(f"{path}: not a saved metric (no 'matrix' array)")
+        return DistanceMatrixMetric(np.array(data["matrix"]))
+
+
+def load_points(path: PathLike) -> Optional[np.ndarray]:
+    """Coordinates stored alongside the matrix, if any."""
+    with np.load(Path(path)) as data:
+        if "points" in data:
+            return np.array(data["points"])
+    return None

@@ -1,0 +1,97 @@
+"""Lower-bound metric family in the spirit of Mendel & Har-Peled [44].
+
+§3 cites a family of doubling metrics on which any 1.9-approximate
+distance labeling needs ``Ω(log n)(log log Δ − log log n)`` bits per
+label, "for some Δ in every interval [(n/2)^M, n^M]".  The construction
+encodes, for each node, ``Θ(log n)`` independent scale choices out of
+``Θ(M)`` possibilities — any accurate labeling must store ~log M bits per
+choice.
+
+We implement the natural realization of that idea (documented
+approximation — the paper's exact gadget is more careful about constant
+distortion): a *scale-coded* hierarchical metric.  Nodes sit in a
+balanced binary hierarchy of depth ``log2 n``; at each split level ℓ a
+per-subtree random code ``c(ℓ, subtree) ∈ {0, …, M-1}`` is drawn, and the
+distance between nodes whose lowest common level is ℓ is
+``base^(ℓ·M + c)``, i.e. the code perturbs the separation scale by up to
+M sub-scales.  Distinct codes at every level force any (1+δ)-accurate
+scheme to distinguish M scales per level — the information-theoretic
+content the lower bound counts.
+
+:func:`label_entropy_bits` computes that content exactly (the number of
+random code bits a perfect labeling must recover), which the bench
+compares against our Theorem 3.4 labels' measured size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.matrix import DistanceMatrixMetric
+from repro.rng import SeedLike, ensure_rng
+
+
+def scale_coded_metric(
+    depth: int,
+    scales_per_level: int,
+    base: float = 2.0,
+    seed: SeedLike = None,
+) -> Tuple[DistanceMatrixMetric, int]:
+    """Build the scale-coded hierarchical metric.
+
+    Returns the metric on ``n = 2^depth`` nodes and the number of code
+    bits it embeds (``(n - 1) * ceil(log2 scales_per_level)``, one code
+    per internal subtree).  Aspect ratio is ``~base^(depth·M)`` with
+    ``M = scales_per_level`` — inside the [44] window for suitable M.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if scales_per_level < 1:
+        raise ValueError("scales_per_level must be at least 1")
+    rng = ensure_rng(seed)
+    n = 2**depth
+    m = scales_per_level
+
+    # codes[level][subtree index at that level]
+    codes = [
+        rng.integers(0, m, size=2**level) for level in range(depth)
+    ]
+
+    matrix = np.zeros((n, n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            # Lowest common level: the most significant differing bit.
+            diff = u ^ v
+            split = diff.bit_length() - 1  # 0 = leaves differ only at bottom
+            level_from_top = depth - 1 - split  # 0 = root split
+            subtree = u >> (split + 1)
+            code = int(codes[level_from_top][subtree])
+            # Separation scale: deeper splits are exponentially closer;
+            # the code perturbs within the level's scale band.
+            exponent = split * m + code
+            matrix[u, v] = matrix[v, u] = base**exponent
+
+    # The construction is an ultrametric up to the code perturbation;
+    # enforce the triangle inequality exactly by a max-smoothing pass
+    # (d(u,v) <= max over w of min paths — ultrametrics need
+    # d(u,v) <= max(d(u,w), d(w,v)); taking the metric closure keeps the
+    # codes intact because codes only *shrink* within one scale band).
+    for k in range(n):
+        via = matrix[:, k][:, None] + matrix[k, :][None, :]
+        np.minimum(matrix, via, out=matrix)
+    np.fill_diagonal(matrix, 0.0)
+    code_bits = (n - 1) * max(1, math.ceil(math.log2(max(2, m))))
+    return DistanceMatrixMetric(matrix), code_bits
+
+
+def label_entropy_bits(n: int, scales_per_level: int) -> float:
+    """Information a node's label must carry to support exact queries.
+
+    Each node participates in ``log2 n`` subtree codes (one per ancestor
+    level), each worth ``log2 M`` bits — the Ω(log n · log M) =
+    Ω(log n · (log log Δ − log log n)) shape of the [44] bound.
+    """
+    return math.log2(max(2, n)) * math.log2(max(2, scales_per_level))

@@ -1,0 +1,53 @@
+"""Metric backed by an explicit distance matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+
+
+class DistanceMatrixMetric(MetricSpace):
+    """A finite metric given by its full ``n x n`` distance matrix.
+
+    The matrix is validated for shape, zero diagonal and symmetry at
+    construction; the triangle inequality can optionally be verified (it is
+    O(n^3), so off by default).
+    """
+
+    def __init__(self, matrix: np.ndarray, check_triangle: bool = False) -> None:
+        super().__init__()
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"distance matrix must be square, got {matrix.shape}")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("distance matrix must have a zero diagonal")
+        if not np.allclose(matrix, matrix.T, rtol=1e-9, atol=1e-12):
+            raise ValueError("distance matrix must be symmetric")
+        if np.any(matrix < 0):
+            raise ValueError("distances must be non-negative")
+        self._matrix = matrix
+        if check_triangle:
+            self._check_triangle()
+
+    def _check_triangle(self) -> None:
+        m = self._matrix
+        n = m.shape[0]
+        for k in range(n):
+            # d(i,j) <= d(i,k) + d(k,j) for all i, j -- vectorized per k.
+            via_k = m[:, k][:, None] + m[k, :][None, :]
+            if np.any(m > via_k + 1e-9 * np.maximum(1.0, m)):
+                raise ValueError(f"triangle inequality violated through node {k}")
+
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (treat as read-only)."""
+        return self._matrix
+
+    def distances_from(self, u: NodeId) -> np.ndarray:
+        return self._matrix[u]

@@ -1,0 +1,146 @@
+"""r-nets and nested net hierarchies (paper §1.1).
+
+An **r-net** on a metric is a set S such that (a) every point is within
+distance r of S (covering) and (b) any two points of S are at distance at
+least r (packing).  The paper constructs them greedily, optionally seeded
+from an existing set of far-apart points — which is exactly what makes the
+*nested* hierarchy ``G_log∆ ⊂ ... ⊂ G_1 ⊂ G_0`` of Theorem 3.2 possible:
+each coarser net is a valid seed for the next finer one.
+
+Lemma 1.4 (at most ``(4 r'/r)^α`` net points in any radius-r' ball) is what
+bounds every ring cardinality in the paper; tests verify it empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+
+
+def greedy_net(
+    metric: MetricSpace,
+    r: float,
+    seed_points: Optional[Sequence[NodeId]] = None,
+) -> List[NodeId]:
+    """Construct an r-net greedily (paper §1.1).
+
+    Starts from ``seed_points`` (which must be pairwise >= r apart; this is
+    the caller's responsibility and holds automatically when seeding from a
+    coarser net) and adds any node at distance >= r from all current net
+    points until the covering property holds.
+
+    Nodes are scanned in id order, so the construction is deterministic.
+    """
+    n = metric.n
+    net: List[NodeId] = list(seed_points) if seed_points else []
+    # min_dist[v] tracks the distance from v to the current net; v joins the
+    # net when that distance is >= r, which preserves packing (>= r) and,
+    # once the scan finishes, guarantees covering (every non-member is < r
+    # from some member).
+    min_dist = np.full(n, np.inf)
+    for s in net:
+        np.minimum(min_dist, metric.distances_from(s), out=min_dist)
+    for v in range(n):
+        if min_dist[v] >= r:
+            net.append(v)
+            np.minimum(min_dist, metric.distances_from(v), out=min_dist)
+    return net
+
+
+def is_r_net(metric: MetricSpace, points: Sequence[NodeId], r: float) -> bool:
+    """Check both net properties (covering within r, packing >= r)."""
+    points = list(points)
+    if not points:
+        return metric.n == 0
+    n = metric.n
+    min_dist = np.full(n, np.inf)
+    for s in points:
+        np.minimum(min_dist, metric.distances_from(s), out=min_dist)
+    covering = bool(np.all(min_dist <= r * (1 + 1e-9)))
+    packing = True
+    for i, s in enumerate(points):
+        row = metric.distances_from(s)
+        for t in points[i + 1 :]:
+            if row[t] < r * (1 - 1e-9):
+                packing = False
+                break
+        if not packing:
+            break
+    return covering and packing
+
+
+class NestedNets:
+    """The nested hierarchy ``G_j`` of 2^j-nets used throughout the paper.
+
+    ``G_j`` is a ``scale(j)``-net and ``G_{j+1} ⊂ G_j``.  Two conventions
+    appear in the paper and both are supported via ``radius_of``:
+
+    * Theorem 2.1 uses ``G_j`` = (Δ/2^j)-nets (finer as j grows) — pass
+      ``descending=True`` with ``base_radius=Δ``.
+    * Theorems 3.2/3.4 use ``G_j`` = 2^j-nets (coarser as j grows) — the
+      default, with ``base_radius=1``.
+
+    Internally the hierarchy is always built coarsest-first so nesting
+    holds by construction.
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        levels: int,
+        base_radius: float = 1.0,
+        descending: bool = False,
+    ) -> None:
+        if levels < 1:
+            raise ValueError("levels must be positive")
+        self.metric = metric
+        self.levels = levels
+        self.base_radius = base_radius
+        self.descending = descending
+
+        self._nets: Dict[int, List[NodeId]] = {}
+        # Build from the coarsest level down, seeding each finer net with
+        # the coarser one so that nesting holds.
+        order = sorted(range(levels), key=self.radius_of, reverse=True)
+        seed: List[NodeId] = []
+        for j in order:
+            seed = greedy_net(metric, self.radius_of(j), seed_points=seed)
+            self._nets[j] = seed
+
+    def radius_of(self, j: int) -> float:
+        """The net radius at level ``j``."""
+        if self.descending:
+            return self.base_radius / float(2**j)
+        return self.base_radius * float(2**j)
+
+    def net(self, j: int) -> List[NodeId]:
+        """The level-``j`` net (a list of node ids)."""
+        if j not in self._nets:
+            raise KeyError(f"level {j} not in [0, {self.levels})")
+        return self._nets[j]
+
+    def net_array(self, j: int) -> np.ndarray:
+        """The level-``j`` net as an int array."""
+        return np.asarray(self.net(j), dtype=int)
+
+    def members_in_ball(self, j: int, u: NodeId, r: float) -> np.ndarray:
+        """Net points of level ``j`` inside the closed ball ``B_u(r)``.
+
+        This is the paper's ring ``Y_uj = B_u(r_j) ∩ G_j`` primitive.
+        """
+        candidates = self.net_array(j)
+        row = self.metric.distances_from(u)
+        return candidates[row[candidates] <= r]
+
+    def nearest_member(self, j: int, u: NodeId) -> NodeId:
+        """The level-``j`` net point closest to ``u`` (covering => within radius)."""
+        candidates = self.net_array(j)
+        row = self.metric.distances_from(u)
+        return int(candidates[np.argmin(row[candidates])])
+
+    def __len__(self) -> int:
+        return self.levels

@@ -1,0 +1,38 @@
+"""Deterministic random-number handling.
+
+All randomized constructions in the library (sampled rings, small-world
+contact graphs, synthetic workloads) accept either an integer seed or a
+ready :class:`numpy.random.Generator`.  Centralizing the coercion keeps
+each constructor's signature small and the behaviour uniform:
+
+* ``ensure_rng(None)`` — a fresh non-deterministic generator,
+* ``ensure_rng(seed)`` — a fresh deterministic generator,
+* ``ensure_rng(generator)`` — the generator itself (shared state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Accepted everywhere randomness is needed.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used by per-node sampling loops so results do not depend on iteration
+    order.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

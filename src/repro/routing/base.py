@@ -1,0 +1,142 @@
+"""Routing-scheme interface, packet simulation and evaluation.
+
+The paper's model (§1): a routing scheme consists of (a) labels and tables
+per node, (b) a local forwarding algorithm (table + header -> next edge),
+(c) a header-construction algorithm (table of u + label of t -> header).
+We mirror that structure: concrete schemes implement
+:meth:`RoutingScheme.route` by simulating the packet hop by hop, and
+expose per-node :meth:`RoutingScheme.table_bits` /
+:meth:`RoutingScheme.label_bits` and per-packet header sizes for the
+Table 1 / Table 2 reproductions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount
+from repro.graphs.graph import WeightedGraph
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one packet."""
+
+    source: NodeId
+    target: NodeId
+    path: List[NodeId]
+    reached: bool
+    header_bits: int = 0
+    mode_switches: int = 0
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def length(self, graph: WeightedGraph) -> float:
+        """Total weight of the traversed path."""
+        return sum(
+            graph.weight(self.path[i], self.path[i + 1])
+            for i in range(len(self.path) - 1)
+        )
+
+
+class RoutingScheme(abc.ABC):
+    """Common interface of all routing schemes in this package."""
+
+    #: the underlying connectivity graph packets travel on
+    graph: WeightedGraph
+
+    @abc.abstractmethod
+    def route(self, source: NodeId, target: NodeId, max_hops: Optional[int] = None) -> RouteResult:
+        """Simulate one packet; never raises on delivery failure (the
+        result's ``reached`` flag reports it)."""
+
+    @abc.abstractmethod
+    def table_bits(self, u: NodeId) -> SizeAccount:
+        """Size of u's routing table."""
+
+    @abc.abstractmethod
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        """Size of u's routing label."""
+
+    def max_table_bits(self) -> int:
+        return max(self.table_bits(u).total_bits for u in range(self.graph.n))
+
+    def max_label_bits(self) -> int:
+        return max(self.label_bits(u).total_bits for u in range(self.graph.n))
+
+
+@dataclass
+class RoutingStats:
+    """Aggregate quality/size measurements over a set of routed pairs."""
+
+    pairs: int
+    delivered: int
+    max_stretch: float
+    mean_stretch: float
+    max_hops: int
+    max_header_bits: int
+    max_table_bits: int
+    max_label_bits: int
+    stretches: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / max(1, self.pairs)
+
+
+def evaluate_scheme(
+    scheme: RoutingScheme,
+    distance_matrix: np.ndarray,
+    pairs: Optional[Iterable[Tuple[NodeId, NodeId]]] = None,
+    sample_pairs: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> RoutingStats:
+    """Route packets for the given (or sampled) pairs and collect stats.
+
+    ``distance_matrix`` supplies the true shortest-path distances used to
+    compute stretch.
+    """
+    n = scheme.graph.n
+    if pairs is None:
+        all_pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+        if sample_pairs is not None and sample_pairs < len(all_pairs):
+            rng = ensure_rng(seed)
+            idx = rng.choice(len(all_pairs), size=sample_pairs, replace=False)
+            pairs = [all_pairs[i] for i in idx]
+        else:
+            pairs = all_pairs
+    pairs = list(pairs)
+
+    stretches: List[float] = []
+    delivered = 0
+    max_hops = 0
+    max_header = 0
+    for u, v in pairs:
+        result = scheme.route(u, v)
+        max_header = max(max_header, result.header_bits)
+        if result.reached:
+            delivered += 1
+            true_d = float(distance_matrix[u, v])
+            routed = result.length(scheme.graph)
+            stretches.append(routed / true_d if true_d > 0 else 1.0)
+            max_hops = max(max_hops, result.hops)
+
+    return RoutingStats(
+        pairs=len(pairs),
+        delivered=delivered,
+        max_stretch=max(stretches) if stretches else float("inf"),
+        mean_stretch=float(np.mean(stretches)) if stretches else float("inf"),
+        max_hops=max_hops,
+        max_header_bits=max_header,
+        max_table_bits=scheme.max_table_bits(),
+        max_label_bits=scheme.max_label_bits(),
+        stretches=stretches,
+    )

@@ -1,0 +1,109 @@
+"""Routing schemes on metrics (§4.1, Table 2).
+
+"Here we are given a metric (V, d), and we need to construct a routing
+scheme on some weighted directed graph G = (V, E) ... we are free to
+choose the edge set E (essentially an overlay network).  The out-degree of
+E becomes another parameter to be optimized."
+
+The wrappers below build the overlay a scheme's rings naturally induce
+(each node's virtual links become real overlay edges), instantiate the
+graph-based scheme on that overlay, and report the out-degree alongside
+the table/header sizes — the three Table 2 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount
+from repro.graphs.graph import WeightedGraph
+from repro.metrics.base import MetricSpace
+from repro.metrics.graphmetric import ShortestPathMetric
+from repro.metrics.nets import NestedNets
+from repro.routing.base import RouteResult, RoutingScheme
+
+
+def overlay_for_metric(
+    metric: MetricSpace, delta: float, style: str = "net"
+) -> WeightedGraph:
+    """Build the rings overlay graph for a metric.
+
+    ``style="net"`` uses the Theorem 2.1 rings (``B_u(4Δ/δ2^j) ∩ G_j``,
+    G_j descending Δ/2^j-nets); ``style="scale"`` uses the Theorem 4.1
+    rings (``B_u(2^{j+2}/δ) ∩ F_j``, F_j ascending 2^j-nets).  Overlay
+    edge weights are the metric distances.
+    """
+    import math
+
+    min_d = metric.min_distance()
+    diameter = metric.diameter()
+    levels = int(math.ceil(math.log2(diameter / min_d))) + 2
+    graph = WeightedGraph(metric.n)
+    if style == "net":
+        nets = NestedNets(metric, levels=levels, base_radius=diameter, descending=True)
+        radius = [4.0 * diameter / (delta * 2.0**j) for j in range(levels)]
+    elif style == "scale":
+        nets = NestedNets(metric, levels=levels, base_radius=min_d)
+        radius = [min_d * (2.0 ** (j + 2)) / delta for j in range(levels)]
+    else:
+        raise ValueError(f"unknown overlay style {style!r}")
+    for u in range(metric.n):
+        row = metric.distances_from(u)
+        for j in range(levels):
+            for v in nets.members_in_ball(j, u, radius[j]):
+                v = int(v)
+                if v != u and not graph.has_edge(u, v):
+                    graph.add_edge(u, v, float(row[v]))
+    # Safety: ensure connectivity by linking each node to its nearest
+    # neighbor (always true for the "net" style; cheap no-op otherwise).
+    for u in range(metric.n):
+        if graph.out_degree(u) == 0:
+            v = metric.nearest_neighbor(u)
+            graph.add_edge(u, v, metric.distance(u, v))
+    return graph
+
+
+class MetricRouting(RoutingScheme):
+    """A graph routing scheme instantiated over a self-chosen overlay.
+
+    ``scheme_factory(graph, delta)`` builds the underlying graph scheme
+    (e.g. :class:`~repro.routing.ring_scheme.RingRouting`).  Stretch is
+    measured against the *metric* distances: an overlay path's length is
+    the sum of metric distances of its virtual hops.
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        delta: float,
+        scheme_factory,
+        style: str = "net",
+    ) -> None:
+        self.metric = metric
+        self.delta = delta
+        self.overlay = overlay_for_metric(metric, delta, style=style)
+        self.graph = self.overlay
+        self.inner: RoutingScheme = scheme_factory(self.overlay, delta)
+
+    def out_degree(self) -> int:
+        """Max overlay out-degree (Table 2's extra column)."""
+        return self.overlay.max_out_degree()
+
+    def route(
+        self, source: NodeId, target: NodeId, max_hops: Optional[int] = None
+    ) -> RouteResult:
+        return self.inner.route(source, target, max_hops=max_hops)
+
+    def table_bits(self, u: NodeId) -> SizeAccount:
+        return self.inner.table_bits(u)
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        return self.inner.label_bits(u)
+
+    def stretch_matrix(self) -> np.ndarray:
+        """True metric distances, for stretch evaluation."""
+        rows = [self.metric.distances_from(u) for u in range(self.metric.n)]
+        return np.vstack(rows)

@@ -1,0 +1,270 @@
+"""Theorem 2.1 — (1+δ)-stretch routing for doubling graphs via rings.
+
+Construction (§2):
+
+* For each scale ``j ∈ [log Δ]``, ``G_j`` is a (Δ/2^j)-net and the j-th
+  ring of u is ``Y_uj = B_u(r_j) ∩ G_j`` with ``r_j = 4Δ/(δ 2^j)``.
+* The *zooming sequence* of a target t is ``f_tj`` — a level-j net point
+  within Δ/2^j of t; t's routing label encodes it **without global ids**:
+  ``n_t0`` is f_t0's index in the (shared) level-0 ring enumeration, and
+  ``n_tj`` is f_tj's index in the host enumeration of the previous element
+  (Claim 2.3 guarantees membership).
+* u's routing table holds, per scale, the translation function ζ_uj
+  (Figure 2's triangle: from ``φ_uj(f)`` and ``φ_{f,j+1}(w)`` compute
+  ``φ_{u,j+1}(w)``) and a first-hop link index per ring member.
+
+Routing: decode the deepest prefix of the zooming sequence visible from
+the current node (Claim 2.2 / ``j_ut``), make ``f_{t,j_ut}`` the
+intermediate target, forward along first-hop pointers (Claim 2.4c: exact
+shortest subpaths); on arrival pick the next intermediate target, which is
+at least 1/δ times closer to t (Claim 2.4a) — total stretch 1 + O(δ)
+(Claim 2.5).
+
+Headers carry the label plus the current scale ``j``; tables are
+accounted both ways the paper discusses: the dense ``K² ceil(log K)``
+translation tables and the actual sparse triples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import FirstHopTable
+from repro.metrics.graphmetric import ShortestPathMetric
+from repro.metrics.nets import NestedNets
+from repro.routing.base import RouteResult, RoutingScheme
+
+
+@dataclass
+class RingRoutingLabel:
+    """Routing label of a target: global id + encoded zooming sequence."""
+
+    node: NodeId
+    indices: Tuple[int, ...]  # n_tj for j in [levels]
+
+
+class RingRouting(RoutingScheme):
+    """The Theorem 2.1 scheme on a weighted graph."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        delta: float,
+        metric: Optional[ShortestPathMetric] = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        self.graph = graph
+        self.delta = delta
+        self.metric = metric if metric is not None else ShortestPathMetric(graph)
+        self.first_hops = FirstHopTable(graph)
+
+        # Scales: G_j is a (Δ/2^j)-net of the shortest-path metric, where Δ
+        # here is the diameter (the paper normalizes min distance to 1).
+        diameter = self.metric.diameter()
+        min_d = self.metric.min_distance()
+        self.levels = int(math.ceil(math.log2(diameter / min_d))) + 2
+        self.nets = NestedNets(
+            self.metric, levels=self.levels, base_radius=diameter, descending=True
+        )
+        self._ring_radius = [
+            4.0 * diameter / (delta * 2.0**j) for j in range(self.levels)
+        ]
+
+        # Rings (sorted member tuples double as host enumerations φ_uj).
+        self._rings: List[List[Tuple[NodeId, ...]]] = []
+        for u in range(graph.n):
+            per_u = []
+            for j in range(self.levels):
+                members = self.nets.members_in_ball(j, u, self._ring_radius[j])
+                per_u.append(tuple(sorted(int(x) for x in members)))
+            self._rings.append(per_u)
+
+        # Zooming sequences and labels.
+        self._zoom: List[Tuple[NodeId, ...]] = [
+            tuple(self.nets.nearest_member(j, t) for j in range(self.levels))
+            for t in range(graph.n)
+        ]
+        self.labels: List[RingRoutingLabel] = [
+            self._build_label(t) for t in range(graph.n)
+        ]
+
+        # Translation functions ζ_uj, stored sparsely as dicts.
+        self._zeta: List[List[Dict[Tuple[int, int], int]]] = [
+            self._build_zeta(u) for u in range(graph.n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def ring(self, u: NodeId, j: int) -> Tuple[NodeId, ...]:
+        """``Y_uj`` in host-enumeration order."""
+        return self._rings[u][j]
+
+    def _ring_index(self, u: NodeId, j: int, node: NodeId) -> Optional[int]:
+        """``φ_uj(node)`` or None."""
+        members = self._rings[u][j]
+        idx = int(np.searchsorted(members, node))
+        if idx < len(members) and members[idx] == node:
+            return idx
+        return None
+
+    def _build_label(self, t: NodeId) -> RingRoutingLabel:
+        zoom = self._zoom[t]
+        indices: List[int] = []
+        # n_t0: index in the level-0 ring, which coincides across all nodes
+        # (r_0 >= 4Δ/δ covers the whole metric).
+        idx0 = self._ring_index(t, 0, zoom[0])
+        if idx0 is None:
+            raise RuntimeError("level-0 ring must contain f_t0")
+        indices.append(idx0)
+        for j in range(1, self.levels):
+            f_prev = zoom[j - 1]
+            idx = self._ring_index(f_prev, j, zoom[j])
+            if idx is None:
+                raise RuntimeError(
+                    f"Claim 2.3 violated: f_({t},{j}) not in ring of f_({t},{j-1})"
+                )
+            indices.append(idx)
+        return RingRoutingLabel(node=t, indices=tuple(indices))
+
+    def _build_zeta(self, u: NodeId) -> List[Dict[Tuple[int, int], int]]:
+        """ζ_uj tables: (φ_uj(f), φ_{f,j+1}(w)) -> φ_{u,j+1}(w)."""
+        tables: List[Dict[Tuple[int, int], int]] = []
+        for j in range(self.levels - 1):
+            table: Dict[Tuple[int, int], int] = {}
+            next_ring = self._rings[u][j + 1]
+            next_index = {node: k for k, node in enumerate(next_ring)}
+            for fi, f in enumerate(self._rings[u][j]):
+                for wi, w in enumerate(self._rings[f][j + 1]):
+                    k = next_index.get(w)
+                    if k is not None:
+                        table[(fi, wi)] = k
+            tables.append(table)
+        return tables
+
+    # ------------------------------------------------------------------
+    # Claim 2.2: decode j_ut and the ring indices of the zooming prefix
+    # ------------------------------------------------------------------
+
+    def _decode(self, u: NodeId, label: RingRoutingLabel) -> List[int]:
+        """Ring indices ``m_j = φ_uj(f_tj)`` for ``j <= j_ut``.
+
+        Uses only u's table (ζ and ring sizes) and the label, exactly as in
+        the proof of Claim 2.2.
+        """
+        indices: List[int] = []
+        m = label.indices[0]
+        if m >= len(self._rings[u][0]):
+            return indices
+        indices.append(m)
+        for j in range(1, self.levels):
+            m_next = self._zeta[u][j - 1].get((indices[-1], label.indices[j]))
+            if m_next is None:
+                break
+            indices.append(m_next)
+        return indices
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def header_bits(self, label: RingRoutingLabel) -> int:
+        """Packet header: the label plus the current scale index."""
+        bits = bits_for_count(self.graph.n)  # ID(t) for termination
+        for j, idx in enumerate(label.indices):
+            ring_size = (
+                len(self._rings[label.node][0])
+                if j == 0
+                else len(self._rings[self._zoom[label.node][j - 1]][j])
+            )
+            bits += bits_for_count(ring_size)
+        bits += bits_for_count(self.levels)  # current intermediate scale j
+        return bits
+
+    def route(
+        self, source: NodeId, target: NodeId, max_hops: Optional[int] = None
+    ) -> RouteResult:
+        label = self.labels[target]
+        limit = max_hops if max_hops is not None else 4 * self.graph.n + 16
+        header = self.header_bits(label)
+
+        path = [source]
+        current = source
+        intermediate_j: Optional[int] = None
+        while current != target and len(path) <= limit:
+            decoded = self._decode(current, label)
+            if not decoded:
+                break  # delivery failure (should not happen; tests assert)
+            if intermediate_j is None or intermediate_j >= len(decoded):
+                intermediate_j = len(decoded) - 1
+            f = self._zoom[target][intermediate_j]
+            if f == current:
+                # Reached the intermediate target: pick the next one.
+                intermediate_j = len(decoded) - 1
+                f = self._zoom[target][intermediate_j]
+                if f == current:
+                    break  # cannot make progress (failure)
+            nxt = self.first_hops.first_hop(current, f)
+            path.append(nxt)
+            current = nxt
+        return RouteResult(
+            source=source,
+            target=target,
+            path=path,
+            reached=current == target,
+            header_bits=header,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def max_ring_cardinality(self) -> int:
+        """The paper's K = (16/δ)^α bound, measured."""
+        return max(
+            len(ring) for per_u in self._rings for ring in per_u
+        )
+
+    def table_bits(self, u: NodeId, dense_translation: bool = False) -> SizeAccount:
+        """Routing table of u.
+
+        ``dense_translation=True`` charges the paper's ``K² ceil(log K)``
+        per-scale table; the default charges the sparse triples actually
+        stored.
+        """
+        account = SizeAccount()
+        link_bits = bits_for_count(self.graph.max_out_degree())
+        neighbors = sum(len(ring) for ring in self._rings[u])
+        account.add("first_hop_pointers", neighbors * link_bits)
+        if dense_translation:
+            big_k = self.max_ring_cardinality()
+            per_scale = big_k * big_k * bits_for_count(big_k)
+            account.add("translation_dense", (self.levels - 1) * per_scale)
+        else:
+            for j, table in enumerate(self._zeta[u]):
+                k_here = max(1, len(self._rings[u][j]))
+                k_next = max(1, len(self._rings[u][j + 1]))
+                entry_bits = (
+                    bits_for_count(k_here)
+                    + bits_for_count(self.max_ring_cardinality())
+                    + bits_for_count(k_next)
+                )
+                account.add("translation_triples", len(table) * entry_bits)
+        account.add("global_id", bits_for_count(self.graph.n))
+        return account
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        account = SizeAccount()
+        account.add("zooming_sequence", self.header_bits(self.labels[u])
+                    - bits_for_count(self.levels) - bits_for_count(self.graph.n))
+        account.add("global_id", bits_for_count(self.graph.n))
+        return account

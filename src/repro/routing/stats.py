@@ -1,0 +1,63 @@
+"""Scheme comparison reporting.
+
+The Table 1/2 reproductions, the examples and downstream users all need
+the same move: run several schemes on one workload and tabulate
+delivery/stretch/size columns.  :func:`compare_schemes` centralizes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.base import RoutingScheme, RoutingStats, evaluate_scheme
+from repro.rng import SeedLike
+
+
+@dataclass
+class SchemeComparison:
+    """One scheme's row in a comparison table."""
+
+    name: str
+    stats: RoutingStats
+
+    def row(self) -> Tuple[str, str, str, str, str, str]:
+        return (
+            self.name,
+            f"{self.stats.delivery_rate:.1%}",
+            f"{self.stats.max_stretch:.4f}",
+            f"{self.stats.mean_stretch:.4f}",
+            f"{self.stats.max_table_bits:,}",
+            f"{self.stats.max_header_bits:,}",
+        )
+
+
+HEADER = ("scheme", "delivery", "max stretch", "mean stretch", "table bits", "header bits")
+
+
+def compare_schemes(
+    schemes: Dict[str, RoutingScheme],
+    distance_matrix: np.ndarray,
+    sample_pairs: Optional[int] = 400,
+    seed: SeedLike = 0,
+) -> List[SchemeComparison]:
+    """Evaluate every scheme on the same sampled pairs."""
+    out: List[SchemeComparison] = []
+    for name, scheme in schemes.items():
+        stats = evaluate_scheme(
+            scheme, distance_matrix, sample_pairs=sample_pairs, seed=seed
+        )
+        out.append(SchemeComparison(name=name, stats=stats))
+    return out
+
+
+def format_comparison(comparisons: Sequence[SchemeComparison]) -> str:
+    """A fixed-width text table (header + one row per scheme)."""
+    rows = [HEADER] + [c.row() for c in comparisons]
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(HEADER))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

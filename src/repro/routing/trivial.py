@@ -1,0 +1,58 @@
+"""The stretch-1 baseline: full shortest-path routing tables.
+
+"In a trivial stretch-1 routing scheme, each node stores the full routing
+table of the all-pairs shortest paths algorithm.  However, this routing
+table takes up Ω(n log n) bits, which does not scale well" (§1).  This is
+the baseline every compact scheme is compared against in the Table 1
+reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._types import NodeId
+from repro.bits import SizeAccount, bits_for_count
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import FirstHopTable
+from repro.routing.base import RouteResult, RoutingScheme
+
+
+class TrivialRouting(RoutingScheme):
+    """Every node stores a first-hop link for every target."""
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.first_hops = FirstHopTable(graph)
+
+    def route(
+        self, source: NodeId, target: NodeId, max_hops: Optional[int] = None
+    ) -> RouteResult:
+        limit = max_hops if max_hops is not None else self.graph.n + 1
+        path = [source]
+        current = source
+        header = bits_for_count(self.graph.n)  # header = target id
+        while current != target and len(path) <= limit:
+            current = self.first_hops.first_hop(current, target)
+            path.append(current)
+        return RouteResult(
+            source=source,
+            target=target,
+            path=path,
+            reached=current == target,
+            header_bits=header,
+        )
+
+    def table_bits(self, u: NodeId) -> SizeAccount:
+        account = SizeAccount()
+        n = self.graph.n
+        # One link index per possible target (including a null for self).
+        account.add(
+            "full_first_hop_table", n * bits_for_count(self.graph.max_out_degree())
+        )
+        return account
+
+    def label_bits(self, u: NodeId) -> SizeAccount:
+        account = SizeAccount()
+        account.add("global_id", bits_for_count(self.graph.n))
+        return account

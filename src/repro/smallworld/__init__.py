@@ -1,0 +1,52 @@
+"""Searchable small-world networks on metrics (paper §5).
+
+A small-world model (Definition 5.1) is a distribution over contact
+graphs plus a *strongly local* routing algorithm: the next hop is chosen
+among the current node's contacts by looking only at distances to those
+contacts and from those contacts to the target.
+
+Models provided:
+
+* :mod:`~repro.smallworld.rings_greedy` — **Theorem 5.2(a)**: X-type
+  (uniform-in-B_ui) and Y-type (doubling-measure) rings, greedy routing,
+  O(log n)-hop queries even for aspect ratio exponential in n.
+* :mod:`~repro.smallworld.rings_pruned` — **Theorem 5.2(b)**: pruned
+  Y-rings + Z-type annulus contacts and the first *non-greedy* strongly
+  local routing step (**), breaking the O(log Δ) out-degree barrier.
+* :mod:`~repro.smallworld.single_link` — **Theorem 5.5**: one long-range
+  contact per node over a graph of local contacts.
+* :mod:`~repro.smallworld.structures` — Kleinberg's group-structures
+  model [32] (the Theorem 5.4 comparison baseline).
+* :mod:`~repro.smallworld.kleinberg_grid` — Kleinberg's original 2-D grid
+  model [30] (inverse-square long-range links).
+"""
+
+from repro.smallworld.base import (
+    ContactGraph,
+    QueryResult,
+    SmallWorldModel,
+    SmallWorldStats,
+    evaluate_model,
+    route_query,
+)
+from repro.smallworld.rings_greedy import GreedyRingsModel
+from repro.smallworld.rings_pruned import PrunedRingsModel
+from repro.smallworld.single_link import SingleLinkModel
+from repro.smallworld.structures import GroupStructuresModel
+from repro.smallworld.kleinberg_grid import KleinbergGridModel
+from repro.smallworld.lookahead import route_query_lookahead
+
+__all__ = [
+    "ContactGraph",
+    "QueryResult",
+    "SmallWorldModel",
+    "SmallWorldStats",
+    "evaluate_model",
+    "route_query",
+    "GreedyRingsModel",
+    "PrunedRingsModel",
+    "SingleLinkModel",
+    "GroupStructuresModel",
+    "KleinbergGridModel",
+    "route_query_lookahead",
+]

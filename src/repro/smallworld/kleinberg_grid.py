@@ -1,0 +1,62 @@
+"""Kleinberg's original 2-D grid small world [30] (baseline).
+
+Nodes are the ``side × side`` lattice; local contacts are the (up to four)
+lattice neighbors; each node additionally draws ``q`` long-range contacts
+with ``Pr[v] ∝ d(u,v)^{-r}``.  Kleinberg's theorem: at the critical
+exponent ``r = 2`` greedy routing finds O(log² n)-hop paths; for ``r ≠ 2``
+greedy needs polynomially many hops.  The benchmark sweep over ``r``
+reproduces that phase transition as a sanity anchor for the §5 models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.euclidean import EuclideanMetric
+from repro.rng import SeedLike, ensure_rng
+from repro.smallworld.base import ContactGraph, SmallWorldModel
+
+
+class KleinbergGridModel(SmallWorldModel):
+    """The inverse-r^th-power grid model (Manhattan distances)."""
+
+    def __init__(self, side: int, exponent: float = 2.0, q: int = 1) -> None:
+        if side < 2:
+            raise ValueError("side must be at least 2")
+        if q < 1:
+            raise ValueError("need at least one long-range contact")
+        self.side = side
+        self.exponent = exponent
+        self.q = q
+        coords = np.array([(x, y) for x in range(side) for y in range(side)], dtype=float)
+        # Kleinberg uses lattice (Manhattan) distance.
+        self.metric = EuclideanMetric(coords, p=1.0)
+        self._coords = coords
+
+    def _lattice_neighbors(self, u: NodeId) -> List[NodeId]:
+        x, y = self._coords[u]
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = int(x + dx), int(y + dy)
+            if 0 <= nx < self.side and 0 <= ny < self.side:
+                out.append(nx * self.side + ny)
+        return out
+
+    def sample_contacts(self, seed: SeedLike = None) -> ContactGraph:
+        rng = ensure_rng(seed)
+        n = self.metric.n
+        contacts: List[Tuple[NodeId, ...]] = []
+        for u in range(n):
+            row = self.metric.distances_from(u)
+            weights = np.where(row > 0, row, np.inf) ** (-self.exponent)
+            weights[u] = 0.0
+            probs = weights / weights.sum()
+            picks = rng.choice(n, size=self.q, p=probs)
+            chosen = set(self._lattice_neighbors(u))
+            chosen.update(int(x) for x in picks)
+            chosen.discard(u)
+            contacts.append(tuple(sorted(chosen)))
+        return ContactGraph(contacts=contacts)

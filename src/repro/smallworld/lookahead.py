@@ -1,0 +1,72 @@
+"""Lookahead ("know thy neighbor's neighbor") routing — Manku et al. [41].
+
+§1's related work: several *non-strongly-local* routing algorithms beat
+plain greedy by inspecting contacts of contacts.  We implement the NoN
+variant as a baseline: the next hop is the contact c whose own best
+contact is closest to the target (one level of lookahead), which needs
+each node to know its neighbors' neighbor lists — strictly more
+information than the paper's strongly local model allows.
+
+The bench compares greedy vs lookahead on the same sampled contact graph
+to quantify what the strongly-local restriction costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.smallworld.base import ContactGraph, QueryResult, SmallWorldModel
+
+
+def route_query_lookahead(
+    model: SmallWorldModel,
+    graph: ContactGraph,
+    source: NodeId,
+    target: NodeId,
+    max_hops: Optional[int] = None,
+) -> QueryResult:
+    """NoN routing on a contact graph sampled from any model.
+
+    At node u, for every contact c compute ``min over c's contacts c2 of
+    d(c2, target)`` (including c itself) and hop to the contact whose
+    lookahead value is smallest; ties broken toward the closer contact.
+    """
+    metric = model.metric
+    limit = max_hops if max_hops is not None else 8 * metric.n
+    row_t = metric.distances_from(target)
+    path = [source]
+    visited = {source}
+    current = source
+    while current != target and len(path) <= limit:
+        contacts = graph.contacts[current]
+        best_contact: Optional[NodeId] = None
+        best_key = (float("inf"), float("inf"))
+        for c in contacts:
+            if c == target:
+                best_contact, best_key = c, (-1.0, -1.0)
+                break
+            if c in visited:
+                # A lookahead hop may move away from the target, so loops
+                # are possible in principle; the simulation forbids
+                # revisits (Manku et al.'s walks are self-avoiding in the
+                # same sense).
+                continue
+            second = graph.contacts[c]
+            lookahead = float(row_t[c])
+            if second:
+                lookahead = min(
+                    lookahead, float(np.min(row_t[np.asarray(second, dtype=int)]))
+                )
+            key = (lookahead, float(row_t[c]))
+            if key < best_key:
+                best_contact, best_key = c, key
+        if best_contact is None or best_contact == current:
+            break
+        path.append(best_contact)
+        visited.add(best_contact)
+        current = best_contact
+    return QueryResult(source=source, target=target, path=path, reached=current == target)

@@ -1,0 +1,88 @@
+"""Theorem 5.2(a) — greedy small world with X- and Y-type rings.
+
+Contacts of node u (§5.1):
+
+* **X-type**: for each ``i ∈ [log n]``, ``c·log n`` nodes sampled
+  independently and uniformly from ``B_ui`` (the smallest ball around u
+  with at least ``n/2^i`` nodes);
+* **Y-type**: for each ``j ∈ [log Δ]``, ``2·c·α·log n`` nodes sampled from
+  ``B_u(2^j)`` with probability proportional to a doubling measure µ
+  ("we need to oversample nodes that lie in very sparse neighborhoods").
+
+Routing is plain greedy.  Property (*): from any node in the annulus
+``B_{t,i-1} \\ B_ti`` the walk enters ``B_ti`` within a constant number of
+hops — a Y-hop to within ``d/4`` of t, then an X-hop into ``B_ti`` — so
+queries finish in O(log n) hops even when Δ is exponential in n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.metrics.measure import DoublingMeasure, doubling_measure
+from repro.rng import SeedLike, ensure_rng
+from repro.smallworld.base import ContactGraph, SmallWorldModel
+
+
+class GreedyRingsModel(SmallWorldModel):
+    """The Theorem 5.2(a) model."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        c: float = 2.0,
+        alpha_factor: float = 2.0,
+        mu: Optional[DoublingMeasure] = None,
+    ) -> None:
+        """``c`` is the Chernoff constant (samples per X-ring are
+        ``ceil(c log2 n)``); ``alpha_factor`` plays the role of 2α in the
+        Y-ring sample count ``ceil(alpha_factor · c · log2 n)``."""
+        self.metric = metric
+        self.c = c
+        self.alpha_factor = alpha_factor
+        self.mu = mu if mu is not None else doubling_measure(metric)
+        self._levels_n = max(1, int(math.ceil(math.log2(max(2, metric.n)))))
+        self._levels_d = metric.log_aspect_ratio() + 1
+        self._base = metric.min_distance()
+
+    @property
+    def x_samples(self) -> int:
+        return max(1, int(math.ceil(self.c * math.log2(max(2, self.metric.n)))))
+
+    @property
+    def y_samples(self) -> int:
+        return max(
+            1,
+            int(
+                math.ceil(
+                    self.alpha_factor * self.c * math.log2(max(2, self.metric.n))
+                )
+            ),
+        )
+
+    def sample_contacts(self, seed: SeedLike = None) -> ContactGraph:
+        rng = ensure_rng(seed)
+        metric = self.metric
+        contacts: List[Tuple[NodeId, ...]] = []
+        for u in range(metric.n):
+            chosen: set[NodeId] = set()
+            row = metric.distances_from(u)
+            # X-type rings.
+            for i in range(self._levels_n):
+                radius = metric.rui(u, i)
+                members = np.flatnonzero(row <= radius)
+                picks = rng.choice(members, size=self.x_samples, replace=True)
+                chosen.update(int(x) for x in picks)
+            # Y-type rings.
+            for j in range(self._levels_d):
+                radius = self._base * float(2**j)
+                picks = self.mu.sample_from_ball(u, radius, self.y_samples, rng)
+                chosen.update(int(x) for x in picks)
+            chosen.discard(u)
+            contacts.append(tuple(sorted(chosen)))
+        return ContactGraph(contacts=contacts)

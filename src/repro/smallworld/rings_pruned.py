@@ -1,0 +1,156 @@
+"""Theorem 5.2(b) — out-degree ~ sqrt(log Δ) via pruned rings + Z-contacts.
+
+The (log Δ) Y-rings of Theorem 5.2(a) are pruned down to the scales that
+matter near each cardinality level: ``Y_{u,i,j}`` exists only for signed j
+with ``|j| <= (3x+3) log log Δ`` and ``r_{u,i+1} < r_ui·2^j < r_{u,i-1}``,
+where ``x = sqrt(log Δ)``.  To survive the pruning, a third family is
+added: the **Z-type** contacts ``z_uj`` — one node sampled uniformly from
+each annulus ``B_u(ρ_j) \\ B_u(ρ_{j-1})`` with ``ρ_j = 2^{(1+1/x)^j}``
+(or, when the annulus is empty, the closest node beyond ``ρ_j``).
+
+Routing is the paper's first *non-greedy strongly local* algorithm:
+
+    if u has a contact within d_ut/4 of the target, hop greedily to the
+    contact closest to the target; **otherwise (step (**))** hop to the
+    contact v that is farthest from u subject to ``d_uv <= d_ut``.
+
+Intuition from the proof sketch: when u cannot make good progress it sits
+in a "bad" neighborhood; the sideways Z-hop lands in a "good" one, from
+which a pruned Y-ring reaches within ``d/16`` of the target.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.metrics.measure import DoublingMeasure, doubling_measure
+from repro.rng import SeedLike, ensure_rng
+from repro.smallworld.base import ContactGraph, SmallWorldModel
+
+
+class PrunedRingsModel(SmallWorldModel):
+    """The Theorem 5.2(b) model with the non-greedy step (**)."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        c: float = 2.0,
+        alpha_factor: float = 2.0,
+        mu: Optional[DoublingMeasure] = None,
+    ) -> None:
+        self.metric = metric
+        self.c = c
+        self.alpha_factor = alpha_factor
+        self.mu = mu if mu is not None else doubling_measure(metric)
+        self._levels_n = max(1, int(math.ceil(math.log2(max(2, metric.n)))))
+        self._base = metric.min_distance()
+        self._log_delta = max(2.0, math.log2(metric.aspect_ratio()))
+        self.x_param = math.sqrt(self._log_delta)
+
+    @property
+    def x_samples(self) -> int:
+        return max(1, int(math.ceil(self.c * math.log2(max(2, self.metric.n)))))
+
+    @property
+    def y_samples(self) -> int:
+        return max(
+            1,
+            int(
+                math.ceil(
+                    self.alpha_factor * self.c * math.log2(max(2, self.metric.n))
+                )
+            ),
+        )
+
+    def _rho(self, j: int) -> float:
+        """``ρ_j = 2^{(1+1/x)^j}`` in units of the minimum distance."""
+        return self._base * 2.0 ** ((1.0 + 1.0 / self.x_param) ** j)
+
+    def _y_scale_indices(self, u: NodeId, i: int) -> List[int]:
+        """Admissible signed offsets j for the pruned ring Y_{u,i,j}."""
+        metric = self.metric
+        r_ui = metric.rui(u, i)
+        if r_ui <= 0:
+            return []
+        r_up = metric.rui(u, i + 1) if i + 1 < self._levels_n else 0.0
+        r_down = metric.rui(u, i - 1) if i >= 1 else float("inf")
+        j_cap = int((3 * self.x_param + 3) * max(1.0, math.log2(self._log_delta)))
+        out: List[int] = []
+        for j in range(-j_cap, j_cap + 1):
+            radius = r_ui * (2.0**j)
+            if r_up < radius < r_down:
+                out.append(j)
+        return out
+
+    def sample_contacts(self, seed: SeedLike = None) -> ContactGraph:
+        rng = ensure_rng(seed)
+        metric = self.metric
+        contacts: List[Tuple[NodeId, ...]] = []
+        delta = metric.aspect_ratio()
+        for u in range(metric.n):
+            chosen: set[NodeId] = set()
+            row = metric.distances_from(u)
+            # X-type rings (same as Theorem 5.2(a)).
+            for i in range(self._levels_n):
+                radius = metric.rui(u, i)
+                members = np.flatnonzero(row <= radius)
+                picks = rng.choice(members, size=self.x_samples, replace=True)
+                chosen.update(int(x) for x in picks)
+            # Pruned Y-type rings.
+            for i in range(self._levels_n):
+                r_ui = metric.rui(u, i)
+                for j in self._y_scale_indices(u, i):
+                    radius = r_ui * (2.0**j)
+                    picks = self.mu.sample_from_ball(u, radius, self.y_samples, rng)
+                    chosen.update(int(x) for x in picks)
+            # Z-type contacts: one per annulus.
+            j = 0
+            while True:
+                rho_j = self._rho(j)
+                if rho_j > self._base * delta * 2.0:
+                    break
+                rho_prev = self._rho(j - 1) if j >= 1 else 0.0
+                in_annulus = np.flatnonzero((row > rho_prev) & (row <= rho_j))
+                if in_annulus.size:
+                    chosen.add(int(rng.choice(in_annulus)))
+                else:
+                    beyond = np.flatnonzero(row > rho_j)
+                    if beyond.size:
+                        chosen.add(int(beyond[np.argmin(row[beyond])]))
+                j += 1
+            chosen.discard(u)
+            contacts.append(tuple(sorted(chosen)))
+        return ContactGraph(contacts=contacts)
+
+    # -- the non-greedy strongly local routing algorithm ---------------------
+
+    def next_hop(
+        self,
+        u: NodeId,
+        d_ut: float,
+        contacts: Sequence[NodeId],
+        d_uc: np.ndarray,
+        d_ct: np.ndarray,
+    ) -> Optional[NodeId]:
+        if len(contacts) == 0:
+            return None
+        k = int(np.argmin(d_ct))
+        if d_ct[k] <= d_ut / 4.0:
+            # Greedy case: a contact within d/4 of the target exists.
+            return contacts[k]
+        # Step (**): go far sideways, but not beyond the target distance.
+        admissible = np.flatnonzero(d_uc <= d_ut)
+        if admissible.size == 0:
+            # Fall back to plain greedy progress if even (**) is stuck.
+            if d_ct[k] < d_ut:
+                return contacts[k]
+            return None
+        far = int(admissible[np.argmax(d_uc[admissible])])
+        if d_uc[far] <= 0:
+            return None
+        return contacts[far]

@@ -1,0 +1,59 @@
+"""Theorem 5.5 — one long-range contact per node.
+
+The original Kleinberg setting [30]: we are given a *graph of local
+contacts* and add exactly one long-range contact per node.  For each node
+u, choose a scale ``j ∈ [log Δ]`` uniformly at random, then sample the
+contact from ``B_u(2^j)`` with probability proportional to a doubling
+measure.  Greedy routing completes each query in ``2^O(α) log² Δ`` hops
+with high probability: local contacts always make some progress, and with
+probability ``(2^O(α) log Δ)^{-1}`` per step the long-range link halves
+the distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.graphs.graph import WeightedGraph
+from repro.metrics.base import MetricSpace
+from repro.metrics.measure import DoublingMeasure, doubling_measure
+from repro.rng import SeedLike, ensure_rng
+from repro.smallworld.base import ContactGraph, SmallWorldModel
+
+
+class SingleLinkModel(SmallWorldModel):
+    """Local contact graph + exactly one sampled long-range link per node."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        local_graph: WeightedGraph,
+        mu: Optional[DoublingMeasure] = None,
+    ) -> None:
+        """``metric`` should be (an approximation of) the shortest-path
+        metric of ``local_graph`` — the paper's d_G."""
+        if local_graph.n != metric.n:
+            raise ValueError("metric and local graph must have the same node set")
+        self.metric = metric
+        self.local_graph = local_graph
+        self.mu = mu if mu is not None else doubling_measure(metric)
+        self._levels_d = metric.log_aspect_ratio() + 1
+        self._base = metric.min_distance()
+
+    def sample_contacts(self, seed: SeedLike = None) -> ContactGraph:
+        rng = ensure_rng(seed)
+        contacts: List[Tuple[NodeId, ...]] = []
+        for u in range(self.metric.n):
+            local = [v for v, _w in self.local_graph.neighbors(u)]
+            j = int(rng.integers(0, self._levels_d))
+            radius = self._base * float(2**j)
+            long_range = int(self.mu.sample_from_ball(u, radius, 1, rng)[0])
+            chosen = set(local)
+            if long_range != u:
+                chosen.add(long_range)
+            contacts.append(tuple(sorted(chosen)))
+        return ContactGraph(contacts=contacts)

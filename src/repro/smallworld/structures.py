@@ -1,0 +1,67 @@
+"""Kleinberg's group-structures small world [32] — "STRUCTURES" (§5.2).
+
+For a node pair (u, v) let ``x_uv`` be the smallest cardinality of a ball
+containing both u and v.  Each node u draws ``Θ(log² n)`` contacts i.i.d.
+from ``π_u(v) = c_1 / x_uv``; routing is greedy.  Theorem 5.4 shows that
+on UL-constrained metrics the paper's ring models share all four
+characteristic properties of this model (hop count, greediness, degree,
+and ``Pr[v contact of u] = Θ(log n)/x_uv``).
+
+``x_uv`` here is computed as ``min(|B_u(d_uv)|, |B_v(d_uv)|)``, which is
+within a constant factor of the true minimum over all ball centers (any
+ball containing both has radius >= d_uv/2 around some center; standard
+doubling argument) — documented approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+from repro.metrics.base import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+from repro.smallworld.base import ContactGraph, SmallWorldModel
+
+
+class GroupStructuresModel(SmallWorldModel):
+    """STRUCTURES: contacts ~ 1/x_uv, greedy routing."""
+
+    def __init__(self, metric: MetricSpace, degree_factor: float = 1.0) -> None:
+        """Each node gets ``ceil(degree_factor · log2(n)^2)`` contact draws."""
+        self.metric = metric
+        self.degree_factor = degree_factor
+
+    @property
+    def draws_per_node(self) -> int:
+        log_n = math.log2(max(2, self.metric.n))
+        return max(1, int(math.ceil(self.degree_factor * log_n * log_n)))
+
+    def contact_probabilities(self, u: NodeId) -> np.ndarray:
+        """π_u over all nodes (0 at u itself)."""
+        metric = self.metric
+        row = metric.distances_from(u)
+        weights = np.zeros(metric.n)
+        for v in range(metric.n):
+            if v == u:
+                continue
+            d = float(row[v])
+            x_uv = min(metric.ball_size(u, d), metric.ball_size(v, d))
+            weights[v] = 1.0 / max(1, x_uv)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("degenerate metric: no other nodes")
+        return weights / total
+
+    def sample_contacts(self, seed: SeedLike = None) -> ContactGraph:
+        rng = ensure_rng(seed)
+        contacts: List[Tuple[NodeId, ...]] = []
+        for u in range(self.metric.n):
+            pi_u = self.contact_probabilities(u)
+            picks = rng.choice(self.metric.n, size=self.draws_per_node, p=pi_u)
+            chosen = set(int(x) for x in picks)
+            chosen.discard(u)
+            contacts.append(tuple(sorted(chosen)))
+        return ContactGraph(contacts=contacts)

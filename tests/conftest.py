@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Expensive structures (scale structures, DLS labelings, routing schemes)
+are built once per session on small instances; tests assert on them from
+many angles instead of rebuilding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import grid_graph, knn_geometric_graph
+from repro.labeling._scales import ScaleStructure
+from repro.metrics import (
+    exponential_line,
+    internet_like_metric,
+    random_hypercube_metric,
+    uniform_line,
+)
+from repro.metrics.graphmetric import ShortestPathMetric
+
+
+@pytest.fixture(scope="session")
+def hypercube32():
+    """32 uniform points in the unit square."""
+    return random_hypercube_metric(32, dim=2, seed=101)
+
+
+@pytest.fixture(scope="session")
+def hypercube64():
+    return random_hypercube_metric(64, dim=2, seed=102)
+
+
+@pytest.fixture(scope="session")
+def expline32():
+    """The exponential line {2^i}: doubling but aspect ratio 2^31."""
+    return exponential_line(32)
+
+
+@pytest.fixture(scope="session")
+def expline48():
+    return exponential_line(48)
+
+
+@pytest.fixture(scope="session")
+def uline32():
+    """UL-constrained metric (uniform line)."""
+    return uniform_line(32)
+
+
+@pytest.fixture(scope="session")
+def inet64():
+    return internet_like_metric(64, seed=103)
+
+
+@pytest.fixture(scope="session")
+def knn_graph64():
+    return knn_geometric_graph(64, k=4, seed=104)
+
+
+@pytest.fixture(scope="session")
+def knn_metric64(knn_graph64):
+    return ShortestPathMetric(knn_graph64)
+
+
+@pytest.fixture(scope="session")
+def grid_graph5():
+    """5x5 unit grid graph."""
+    return grid_graph(5)
+
+
+@pytest.fixture(scope="session")
+def scales_hypercube32(hypercube32):
+    return ScaleStructure(hypercube32, delta=0.4)
+
+
+@pytest.fixture(scope="session")
+def scales_expline32(expline32):
+    return ScaleStructure(expline32, delta=0.4)

@@ -1,0 +1,68 @@
+"""Bit accounting primitives."""
+
+import pytest
+
+from repro.bits import SizeAccount, bits_for_count, bits_for_value, max_account
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize(
+        "k,expected",
+        [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)],
+    )
+    def test_bits_for_count(self, k, expected):
+        assert bits_for_count(k) == expected
+
+    @pytest.mark.parametrize("v,expected", [(0, 1), (1, 1), (7, 3), (8, 4), (255, 8)])
+    def test_bits_for_value(self, v, expected):
+        assert bits_for_value(v) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for_count(-1)
+        with pytest.raises(ValueError):
+            bits_for_value(-1)
+
+
+class TestSizeAccount:
+    def test_accumulation(self):
+        a = SizeAccount()
+        a.add("x", 10)
+        a.add("x", 5)
+        a.add("y", 1)
+        assert a.total_bits == 16
+        assert a.components["x"] == 15
+
+    def test_total_bytes(self):
+        a = SizeAccount({"x": 16})
+        assert a.total_bytes == 2.0
+
+    def test_merge_and_add(self):
+        a = SizeAccount({"x": 1})
+        b = SizeAccount({"x": 2, "y": 3})
+        merged = a + b
+        assert merged.components == {"x": 3, "y": 3}
+        # Originals untouched.
+        assert a.components == {"x": 1}
+
+    def test_negative_rejected(self):
+        a = SizeAccount()
+        with pytest.raises(ValueError):
+            a.add("x", -1)
+
+    def test_describe_mentions_total(self):
+        a = SizeAccount({"x": 5})
+        assert "TOTAL" in a.describe()
+
+    def test_iteration(self):
+        a = SizeAccount({"x": 5, "y": 6})
+        assert dict(iter(a)) == {"x": 5, "y": 6}
+
+    def test_max_account(self):
+        small = SizeAccount({"x": 1})
+        big = SizeAccount({"x": 100})
+        assert max_account([small, big]) is big
+
+    def test_max_account_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_account([])

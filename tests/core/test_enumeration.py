@@ -1,0 +1,83 @@
+"""Host/virtual enumerations and translation functions (Figure 2)."""
+
+import pytest
+
+from repro.core import Enumeration, TranslationFunction
+
+
+class TestEnumeration:
+    def test_sorted_order(self):
+        e = Enumeration.of([5, 1, 9])
+        assert e.members == (1, 5, 9)
+        assert e.index_of(5) == 1
+        assert e.node_at(2) == 9
+
+    def test_identical_sets_identical_indices(self):
+        """The level-0 coincidence property the schemes rely on."""
+        a = Enumeration.of([4, 2, 8])
+        b = Enumeration.of([8, 4, 2])
+        for node in (2, 4, 8):
+            assert a.index_of(node) == b.index_of(node)
+
+    def test_missing_node(self):
+        e = Enumeration.of([1, 2])
+        assert e.index_of(7) is None
+        assert 7 not in e
+
+    def test_index_bits(self):
+        assert Enumeration.of(range(8)).index_bits() == 3
+        assert Enumeration.of([3]).index_bits() == 0
+
+    def test_deduplication(self):
+        e = Enumeration.of([1, 1, 2])
+        assert len(e) == 2
+
+
+class TestTranslationFunction:
+    def test_define_lookup(self):
+        z = TranslationFunction()
+        z.define(0, 3, 7)
+        assert z.lookup(0, 3) == 7
+        assert z.lookup(0, 4) is None
+
+    def test_inconsistent_definition_rejected(self):
+        z = TranslationFunction()
+        z.define(1, 1, 2)
+        with pytest.raises(ValueError, match="inconsistent"):
+            z.define(1, 1, 3)
+
+    def test_idempotent_redefinition_ok(self):
+        z = TranslationFunction()
+        z.define(1, 1, 2)
+        z.define(1, 1, 2)
+        assert len(z) == 1
+
+    def test_entries_with_first(self):
+        z = TranslationFunction()
+        z.define(0, 1, 10)
+        z.define(0, 2, 20)
+        z.define(5, 1, 30)
+        assert z.entries_with_first(0) == {1: 10, 2: 20}
+        assert z.entries_with_first(9) == {}
+
+    def test_triangle_composition(self):
+        """Figure 2: translate w's index through f into u's enumeration."""
+        phi_u1 = Enumeration.of([10, 20])  # u's level-1 ring: f=20 at idx 1
+        phi_f2 = Enumeration.of([30, 40])  # f's level-2 ring: w=40 at idx 1
+        phi_u2 = Enumeration.of([40, 50])  # u's level-2 ring: w=40 at idx 0
+        z = TranslationFunction()
+        z.define(phi_u1.index_of(20), phi_f2.index_of(40), phi_u2.index_of(40))
+        w_in_u = z.lookup(1, 1)
+        assert phi_u2.node_at(w_in_u) == 40
+
+    def test_dense_bit_size(self):
+        z = TranslationFunction()
+        account = z.dense_bit_size(4, 4, 4)
+        assert account.total_bits == 4 * 4 * 2
+
+    def test_triples_bit_size(self):
+        z = TranslationFunction()
+        z.define(0, 0, 0)
+        z.define(1, 1, 1)
+        account = z.triples_bit_size(3, 4, 3)
+        assert account.total_bits == 2 * 10

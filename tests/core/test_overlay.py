@@ -1,0 +1,25 @@
+"""Overlay networks from rings."""
+
+import pytest
+
+from repro.core import cardinality_rings, overlay_from_rings
+
+
+class TestOverlay:
+    def test_edges_match_pointers(self, hypercube32):
+        rings = cardinality_rings(hypercube32, samples_per_ring=3, seed=2)
+        overlay = overlay_from_rings(rings)
+        for u in range(hypercube32.n):
+            for v in rings.neighbors_of(u):
+                assert overlay.has_edge(u, v)
+
+    def test_weights_are_metric_distances(self, hypercube32):
+        rings = cardinality_rings(hypercube32, samples_per_ring=3, seed=2)
+        overlay = overlay_from_rings(rings)
+        for u, v, w in overlay.edges():
+            assert w == pytest.approx(hypercube32.distance(u, v))
+
+    def test_overlay_connected_with_enough_samples(self, hypercube32):
+        rings = cardinality_rings(hypercube32, samples_per_ring=6, seed=0)
+        overlay = overlay_from_rings(rings)
+        assert overlay.is_connected()

@@ -1,0 +1,53 @@
+"""Zooming sequences (Theorem 2.1 / 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import net_zooming_sequence
+from repro.core.zooming import rui_zooming_sequence
+from repro.metrics import NestedNets
+
+
+@pytest.fixture(scope="module")
+def descending_nets(hypercube32):
+    return NestedNets(
+        hypercube32, levels=7, base_radius=hypercube32.diameter(), descending=True
+    )
+
+
+class TestNetZooming:
+    def test_zooms_within_net_radius(self, hypercube32, descending_nets):
+        """f_tj lies within Δ/2^j of t (Claim 2.3's premise)."""
+        for t in (0, 13, 31):
+            seq = net_zooming_sequence(hypercube32, descending_nets, t)
+            for j in range(len(seq)):
+                assert hypercube32.distance(t, seq[j]) <= descending_nets.radius_of(j)
+
+    def test_converges_to_target(self, hypercube32, descending_nets):
+        """At the finest level the net contains every node, so f = t."""
+        for t in (5, 22):
+            seq = net_zooming_sequence(hypercube32, descending_nets, t)
+            assert seq[len(seq) - 1] == t
+
+    def test_members_are_net_points(self, hypercube32, descending_nets):
+        seq = net_zooming_sequence(hypercube32, descending_nets, 7)
+        for j in range(len(seq)):
+            assert seq[j] in set(descending_nets.net(j))
+
+    def test_target_recorded(self, hypercube32, descending_nets):
+        seq = net_zooming_sequence(hypercube32, descending_nets, 3)
+        assert seq.target == 3
+
+
+class TestRuiZooming:
+    def test_within_quarter_radius(self, hypercube32):
+        nets = NestedNets(
+            hypercube32, levels=8, base_radius=hypercube32.min_distance()
+        )
+        for t in (0, 17):
+            seq = rui_zooming_sequence(hypercube32, nets, t, levels=5)
+            for i in range(5):
+                r_ti = hypercube32.rui(t, i)
+                # Within r_ti/4 when the net level is not clamped; the
+                # clamped bottom level gives t itself (distance 0).
+                assert hypercube32.distance(t, seq[i]) <= max(r_ti / 4.0, 0.0) + 1e-12

@@ -1,0 +1,62 @@
+"""Round-based simulator semantics."""
+
+from typing import List
+
+import pytest
+
+from repro.distributed import Message, RoundBasedProtocol, SynchronousNetwork
+from repro.metrics import uniform_line
+
+
+class PingPong(RoundBasedProtocol):
+    """Node 0 pings node 1 back and forth a fixed number of times."""
+
+    def __init__(self, volleys: int) -> None:
+        self.volleys = volleys
+
+    def initialize(self, ctx) -> None:
+        ctx.state[0]["count"] = 0
+        ctx.state[1]["count"] = 0
+        ctx.send(0, 1, "ping", hop=0)
+
+    def on_round(self, node, inbox: List[Message], ctx) -> None:
+        for message in inbox:
+            if message.kind == "ping":
+                ctx.state[node]["count"] += 1
+                if message.payload["hop"] + 1 < self.volleys:
+                    ctx.send(node, message.sender, "ping", hop=message.payload["hop"] + 1)
+
+    def is_done(self, ctx) -> bool:
+        return ctx.state[0]["count"] + ctx.state[1]["count"] >= self.volleys
+
+
+class TestSimulator:
+    def test_message_delivery_next_round(self):
+        metric = uniform_line(2)
+        proto = PingPong(volleys=4)
+        net = SynchronousNetwork(metric, proto)
+        stats = net.run(max_rounds=10)
+        assert stats.converged
+        assert stats.rounds == 4  # one volley per round
+        assert stats.messages == 4
+
+    def test_round_budget(self):
+        metric = uniform_line(2)
+        proto = PingPong(volleys=100)
+        net = SynchronousNetwork(metric, proto)
+        stats = net.run(max_rounds=5)
+        assert not stats.converged
+        assert stats.rounds == 5
+
+    def test_probe_counted(self):
+        metric = uniform_line(3)
+        proto = PingPong(volleys=1)
+        net = SynchronousNetwork(metric, proto)
+        assert net.ctx.probe(0, 2) == 2.0
+        assert net.ctx.probes == 1
+
+    def test_bad_recipient_rejected(self):
+        metric = uniform_line(2)
+        net = SynchronousNetwork(metric, PingPong(1))
+        with pytest.raises(ValueError):
+            net.ctx.send(0, 9, "ping")

@@ -1,0 +1,90 @@
+"""Graph workload generators — connectivity and shape."""
+
+import pytest
+
+from repro.graphs import (
+    grid_graph,
+    internet_like_graph,
+    knn_geometric_graph,
+    random_geometric_graph,
+    ring_with_chords_graph,
+)
+
+
+class TestGridGraph:
+    def test_size_and_degree(self):
+        g = grid_graph(4, dim=2)
+        assert g.n == 16
+        assert g.m == 2 * 4 * 3  # 2 * side * (side-1)
+        assert g.max_out_degree() == 4
+
+    def test_3d(self):
+        g = grid_graph(3, dim=3)
+        assert g.n == 27
+        assert g.is_connected()
+
+    def test_jitter_changes_weights(self):
+        g = grid_graph(3, jitter=0.5, seed=1)
+        weights = {w for _u, _v, w in g.edges()}
+        assert len(weights) > 1
+        assert all(1.0 <= w <= 1.5 for w in weights)
+
+    def test_rejects_small_side(self):
+        with pytest.raises(ValueError):
+            grid_graph(1)
+
+
+class TestGeometricGraphs:
+    def test_knn_connected(self):
+        for seed in (0, 1, 2):
+            g = knn_geometric_graph(60, k=3, seed=seed)
+            assert g.is_connected()
+
+    def test_knn_deterministic(self):
+        a = knn_geometric_graph(30, seed=7)
+        b = knn_geometric_graph(30, seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_rgg_connected(self):
+        g = random_geometric_graph(50, radius=0.2, seed=3)
+        assert g.is_connected()
+
+    def test_rgg_edges_within_radius_mostly(self):
+        g = random_geometric_graph(40, radius=0.25, seed=4)
+        # Only connectivity-patch edges may exceed the radius.
+        long_edges = sum(1 for _u, _v, w in g.edges() if w > 0.25)
+        assert long_edges <= 5
+
+    def test_internet_like_connected(self):
+        g = internet_like_graph(80, seed=5)
+        assert g.is_connected()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            knn_geometric_graph(1)
+        with pytest.raises(ValueError):
+            random_geometric_graph(1, 0.1)
+        with pytest.raises(ValueError):
+            internet_like_graph(1)
+
+
+class TestRing:
+    def test_plain_ring(self):
+        g = ring_with_chords_graph(10)
+        assert g.m == 10
+        assert g.is_connected()
+
+    def test_chords_added(self):
+        g = ring_with_chords_graph(20, chords=10, seed=0)
+        assert g.m >= 20
+        assert g.is_connected()
+
+    def test_chord_weight_is_hop_distance(self):
+        g = ring_with_chords_graph(12, chords=30, seed=1)
+        for u, v, w in g.edges():
+            hop = min(abs(u - v), 12 - abs(u - v))
+            assert w == pytest.approx(float(hop))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ring_with_chords_graph(2)

@@ -1,0 +1,100 @@
+"""WeightedGraph adjacency, link indices and invariants."""
+
+import pytest
+
+from repro.graphs import WeightedGraph
+
+
+@pytest.fixture
+def triangle():
+    g = WeightedGraph(3)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(0, 2, 2.5)
+    return g
+
+
+class TestEdges:
+    def test_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+
+    def test_weight_lookup(self, triangle):
+        assert triangle.weight(0, 1) == 1.0
+        assert triangle.weight(1, 0) == 1.0
+
+    def test_missing_edge_raises(self, triangle):
+        g = WeightedGraph(3)
+        with pytest.raises(KeyError):
+            g.weight(0, 1)
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 2)
+        assert not WeightedGraph(3).has_edge(0, 2)
+
+    def test_readd_updates_weight(self, triangle):
+        triangle.add_edge(0, 1, 9.0)
+        assert triangle.weight(0, 1) == 9.0
+        assert triangle.m == 3  # no duplicate
+
+    def test_rejects_self_loop(self):
+        g = WeightedGraph(2)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1, 1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        g = WeightedGraph(2)
+        with pytest.raises(ValueError, match="positive"):
+            g.add_edge(0, 1, 0.0)
+
+    def test_rejects_out_of_range(self):
+        g = WeightedGraph(2)
+        with pytest.raises(ValueError, match="range"):
+            g.add_edge(0, 5, 1.0)
+
+    def test_edges_iterator_unique(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestLinkIndices:
+    def test_roundtrip(self, triangle):
+        for u in range(3):
+            for v, _w in triangle.neighbors(u):
+                idx = triangle.link_index(u, v)
+                assert triangle.link_target(u, idx) == v
+
+    def test_out_degree(self, triangle):
+        assert triangle.out_degree(0) == 2
+        assert triangle.max_out_degree() == 2
+
+    def test_neighbors_order_is_insertion(self):
+        g = WeightedGraph(4)
+        g.add_edge(2, 0, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(2, 1, 1.0)
+        assert [v for v, _ in g.neighbors(2)] == [0, 3, 1]
+
+
+class TestUtility:
+    def test_connectivity(self, triangle):
+        assert triangle.is_connected()
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        assert not g.is_connected()
+
+    def test_from_edges(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.m == 2
+        assert g.weight(1, 2) == 2.0
+
+    def test_scipy_csr(self, triangle):
+        csr = triangle.to_scipy_csr()
+        assert csr.shape == (3, 3)
+        assert csr[0, 1] == 1.0
+        assert csr[1, 0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(0)

@@ -1,0 +1,52 @@
+"""CLI commands run end to end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info", "--workload", "hypercube", "--n", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "aspect ratio" in out
+        assert "doubling dim" in out
+
+    def test_info_expline(self, capsys):
+        assert main(["info", "--workload", "expline", "--n", "32"]) == 0
+        assert "log2 = 31" in capsys.readouterr().out
+
+    def test_triangulate(self, capsys):
+        code = main(
+            ["triangulate", "--workload", "uline", "--n", "32", "--pair", "0", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "order" in out and "estimate" in out
+
+    def test_labels(self, capsys):
+        code = main(["labels", "--workload", "uline", "--n", "32"])
+        assert code == 0
+        assert "max label bits" in capsys.readouterr().out
+
+    def test_route(self, capsys):
+        code = main(["route", "--scheme", "thm2.1", "--n", "48", "--packets", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivery      100.0%" in out
+
+    def test_smallworld(self, capsys):
+        code = main(
+            ["smallworld", "--model", "5.2a", "--workload", "uline", "--n", "48",
+             "--queries", "60"]
+        )
+        assert code == 0
+        assert "completion" in capsys.readouterr().out
+
+    def test_smallworld_55(self, capsys):
+        code = main(["smallworld", "--model", "5.5", "--n", "49", "--queries", "40"])
+        assert code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

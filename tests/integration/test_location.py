@@ -1,0 +1,98 @@
+"""Object location via nets (the title problem)."""
+
+import numpy as np
+import pytest
+
+from repro.location import RingObjectLocation
+from repro.metrics import exponential_line, random_hypercube_metric
+
+
+@pytest.fixture(scope="module")
+def directory(hypercube64):
+    d = RingObjectLocation(hypercube64)
+    for key in range(12):
+        d.publish(f"obj-{key}", owner=(key * 5 + 3) % 64)
+    return d
+
+
+class TestPublish:
+    def test_pointers_per_object_logarithmic(self, directory, hypercube64):
+        """O(1) pointers per scale -> O(log Δ) per object."""
+        levels = directory.nets.levels
+        for key in directory.published_keys():
+            count = directory.pointers_per_object(key)
+            assert 1 <= count <= 40 * levels
+
+    def test_owner_always_holds_pointer(self, directory):
+        """The owner's nearest level-0 net point is the owner itself."""
+        for key in directory.published_keys():
+            owner = directory._owners[key]
+            assert directory._directory[owner][key] == owner
+
+    def test_duplicate_publish_rejected(self, directory):
+        with pytest.raises(KeyError):
+            directory.publish("obj-0", owner=0)
+
+    def test_unpublish_removes_everywhere(self, hypercube64):
+        d = RingObjectLocation(hypercube64)
+        d.publish("temp", owner=10)
+        d.unpublish("temp")
+        assert all("temp" not in entry for entry in d._directory.values())
+        assert d.locate("temp", 0).owner is None
+
+    def test_bad_params(self, hypercube64):
+        d = RingObjectLocation(hypercube64)
+        with pytest.raises(ValueError):
+            d.publish("x", owner=999)
+        with pytest.raises(ValueError):
+            RingObjectLocation(hypercube64, pointer_radius_factor=1.0)
+        with pytest.raises(KeyError):
+            d.unpublish("never")
+
+
+class TestLocate:
+    def test_every_lookup_succeeds(self, directory, hypercube64):
+        for key in directory.published_keys():
+            for source in range(0, 64, 7):
+                result = directory.locate(key, source)
+                assert result.found, (key, source)
+                assert result.owner == directory._owners[key]
+
+    def test_constant_stretch(self, directory, hypercube64):
+        """The doubling argument: lookup cost = O(d(source, owner))."""
+        stretches = []
+        for key in directory.published_keys():
+            owner = directory._owners[key]
+            for source in range(64):
+                if source == owner:
+                    continue
+                result = directory.locate(key, source)
+                stretches.append(result.stretch(hypercube64))
+        assert max(stretches) <= 16.0
+        assert float(np.median(stretches)) <= 8.0
+
+    def test_source_is_owner(self, directory):
+        key = "obj-0"
+        owner = directory._owners[key]
+        result = directory.locate(key, owner)
+        assert result.found
+        assert result.cost == pytest.approx(0.0)
+
+    def test_exponential_line(self):
+        metric = exponential_line(48)
+        d = RingObjectLocation(metric)
+        d.publish("far", owner=47)
+        d.publish("near", owner=0)
+        for source in (0, 20, 47):
+            for key in ("far", "near"):
+                result = d.locate(key, source)
+                assert result.found
+                assert result.stretch(metric) <= 16.0
+
+    def test_directory_bits(self, directory):
+        account = directory.directory_bits(0)
+        assert set(account.components) == {"directory_keys", "directory_owners"}
+
+    def test_missing_object_not_found(self, directory):
+        result = directory.locate("ghost", 0)
+        assert not result.found

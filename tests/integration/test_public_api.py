@@ -1,0 +1,66 @@
+"""Top-level package API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_subpackages_exported(self):
+        for name in (
+            "metrics",
+            "graphs",
+            "core",
+            "labeling",
+            "routing",
+            "smallworld",
+            "meridian",
+            "distributed",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_dunder_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.metrics",
+            "repro.graphs",
+            "repro.core",
+            "repro.labeling",
+            "repro.routing",
+            "repro.smallworld",
+            "repro.meridian",
+            "repro.distributed",
+            "repro.location",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_docstrings_everywhere_public(self):
+        """Every public item reachable from __all__ has a docstring."""
+        for module_name in (
+            "repro.metrics",
+            "repro.graphs",
+            "repro.core",
+            "repro.labeling",
+            "repro.routing",
+            "repro.smallworld",
+            "repro.meridian",
+            "repro.distributed",
+        ):
+            mod = importlib.import_module(module_name)
+            assert mod.__doc__
+            for name in mod.__all__:
+                obj = getattr(mod, name)
+                assert getattr(obj, "__doc__", None), f"{module_name}.{name}"

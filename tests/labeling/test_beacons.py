@@ -1,0 +1,62 @@
+"""Common-beacon (ε,δ)-triangulation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import BeaconTriangulation
+
+
+class TestBounds:
+    @pytest.fixture(scope="class")
+    def tri(self, hypercube64):
+        return BeaconTriangulation(hypercube64, k=12, seed=0, mantissa_bits=14)
+
+    def test_bounds_sandwich_distance(self, tri, hypercube64):
+        """D- <= d <= D+ up to quantization error (which is relative to
+        the beacon distances, hence absolute in the diameter for D-)."""
+        slack = 2 * tri.codec.relative_error * hypercube64.diameter()
+        for u, v in [(0, 1), (5, 40), (13, 62), (7, 7 + 1)]:
+            lower, upper = tri.bounds(u, v)
+            d = hypercube64.distance(u, v)
+            assert lower <= d + slack
+            assert upper >= d - 1e-9
+
+    def test_estimate_is_upper(self, tri):
+        lower, upper = tri.bounds(3, 44)
+        assert tri.estimate(3, 44) == upper
+
+    def test_self_estimate_zero(self, tri):
+        assert tri.estimate(9, 9) == 0.0
+
+    def test_order(self, tri):
+        assert tri.order == 12
+
+    def test_label_bits(self, tri):
+        bits = tri.label_bits(0)
+        assert bits.total_bits == 12 * (6 + tri.codec.bits_per_distance)
+
+
+class TestEpsilonDelta:
+    def test_epsilon_decreases_with_more_beacons(self, hypercube64):
+        few = BeaconTriangulation(hypercube64, k=3, seed=1)
+        many = BeaconTriangulation(hypercube64, k=32, seed=1)
+        delta = 0.5
+        assert many.epsilon_for_delta(delta) <= few.epsilon_for_delta(delta) + 0.02
+
+    def test_some_pairs_fail(self, hypercube64):
+        """The baseline's flaw the paper fixes: with few beacons a
+        noticeable fraction of pairs has a poor certificate."""
+        tri = BeaconTriangulation(hypercube64, k=3, seed=2)
+        assert tri.epsilon_for_delta(0.2) > 0.0
+
+    def test_explicit_beacons(self, hypercube64):
+        tri = BeaconTriangulation(hypercube64, k=3, beacons=[1, 2, 3])
+        assert list(tri.beacons) == [1, 2, 3]
+
+    def test_worst_ratio_at_least_one(self, hypercube64):
+        tri = BeaconTriangulation(hypercube64, k=8, seed=3)
+        assert tri.worst_ratio() >= 1.0
+
+    def test_rejects_zero_beacons(self, hypercube64):
+        with pytest.raises(ValueError):
+            BeaconTriangulation(hypercube64, k=0)

@@ -1,0 +1,88 @@
+"""Theorem 3.4 — id-free distance labeling."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.dls import RingDLS
+
+
+@pytest.fixture(scope="module")
+def dls32(hypercube32, scales_hypercube32):
+    return RingDLS(hypercube32, delta=0.4, scales=scales_hypercube32)
+
+
+@pytest.fixture(scope="module")
+def dls_exp(expline32, scales_expline32):
+    return RingDLS(expline32, delta=0.4, scales=scales_expline32)
+
+
+class TestAccuracy:
+    def test_sound_upper_bound_hypercube(self, dls32, hypercube32):
+        """D+ >= true distance (up to nothing: encoding rounds up)."""
+        for u, v in hypercube32.pairs():
+            assert dls32.estimate(u, v) >= hypercube32.distance(u, v) - 1e-12
+
+    def test_approximation_hypercube(self, dls32, hypercube32):
+        """D+ <= (1+O(delta)) d for every pair (here O(delta) ~ 2.2 delta
+        including quantization)."""
+        bound = 1 + 2.5 * dls32.delta
+        for u, v in hypercube32.pairs():
+            d = hypercube32.distance(u, v)
+            assert dls32.estimate(u, v) <= bound * d + 1e-9
+
+    def test_sound_and_tight_expline(self, dls_exp, expline32):
+        bound = 1 + 2.5 * dls_exp.delta
+        for u, v in expline32.pairs():
+            d = expline32.distance(u, v)
+            est = dls_exp.estimate(u, v)
+            assert d - 1e-9 * d <= est <= bound * d + 1e-9
+
+    def test_self_zero(self, dls32):
+        assert dls32.estimate(11, 11) == 0.0
+
+    def test_symmetric_estimates(self, dls32):
+        for u, v in [(0, 31), (4, 17)]:
+            assert dls32.estimate(u, v) == pytest.approx(dls32.estimate(v, u))
+
+
+class TestIdFreeDecoding:
+    def test_decoding_uses_labels_only(self, dls32):
+        """estimate_from_labels works on the label objects alone."""
+        est = dls32.estimate_from_labels(dls32.labels[2], dls32.labels[9])
+        assert est == dls32.estimate(2, 9)
+
+    def test_chain_identifies_anchor(self, dls32):
+        pairs = RingDLS._chain(dls32.labels[0], dls32.labels[1])
+        assert len(pairs) >= 1  # at least f_u0 is always identified
+
+    def test_chain_pointers_refer_to_same_node(self, dls32):
+        """Simulation-level check that identification is correct."""
+        for u, v in [(0, 1), (5, 28)]:
+            pairs = RingDLS._chain(dls32.labels[u], dls32.labels[v])
+            zoom = dls32.scales.zooming_sequence(u)
+            for level, (pu, pv) in enumerate(pairs):
+                node_u = dls32._segment_node_for_test(u, pu)
+                node_v = dls32._segment_node_for_test(v, pv)
+                assert node_u == node_v == zoom[level]
+
+
+class TestSizes:
+    def test_label_components(self, dls32):
+        account = dls32.label_bits(0)
+        assert "neighbor_distances" in account.components
+        assert "zoom_anchor" in account.components
+
+    def test_virtual_neighbor_count_bounded(self, dls32, hypercube32):
+        assert dls32.max_virtual_neighbors() <= hypercube32.n
+
+    def test_mean_at_most_max(self, dls32):
+        assert dls32.mean_label_bits() <= dls32.max_label_bits()
+
+    def test_rejects_big_delta(self, hypercube32):
+        with pytest.raises(ValueError, match="1/2"):
+            RingDLS(hypercube32, delta=0.7)
+
+    def test_no_global_ids_in_label(self, dls32):
+        """The whole point of Theorem 3.4: labels carry no node ids."""
+        label = dls32.labels[3]
+        assert "neighbor_ids" not in label.size.components

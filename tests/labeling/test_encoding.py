@@ -1,0 +1,79 @@
+"""Mantissa/exponent distance codes."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.encoding import DistanceCodec
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def codec(self):
+        return DistanceCodec(min_distance=0.01, max_distance=100.0, mantissa_bits=8)
+
+    def test_rounds_up(self, codec):
+        for d in (0.01, 0.5, 1.0, 3.14159, 99.0):
+            assert codec.roundtrip(d) >= d
+
+    def test_relative_error_bound(self, codec):
+        for d in np.geomspace(0.01, 100.0, 200):
+            approx = codec.roundtrip(float(d))
+            assert approx <= d * (1 + codec.relative_error) + 1e-15
+
+    def test_zero_exact(self, codec):
+        assert codec.roundtrip(0.0) == 0.0
+
+    def test_monotone(self, codec):
+        values = np.geomspace(0.01, 100.0, 100)
+        encoded = [codec.roundtrip(float(d)) for d in values]
+        assert all(a <= b + 1e-15 for a, b in zip(encoded, encoded[1:]))
+
+    def test_negative_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(-1.0)
+
+    def test_mantissa_in_range(self, codec):
+        for d in (0.02, 1.7, 42.0):
+            code = codec.encode(d)
+            assert 0 < code.mantissa < 2**codec.mantissa_bits
+
+
+class TestSizing:
+    def test_bits_per_distance(self):
+        codec = DistanceCodec(1.0, 2.0**20, mantissa_bits=6)
+        assert codec.bits_per_distance == 6 + codec.exponent_bits
+        # Exponent covers ~20 scales -> about 5 bits.
+        assert codec.exponent_bits <= 6
+
+    def test_exponent_bits_grow_with_log_log_aspect(self):
+        narrow = DistanceCodec(1.0, 2.0**8, mantissa_bits=6)
+        wide = DistanceCodec(1.0, 2.0**600, mantissa_bits=6)
+        assert wide.exponent_bits > narrow.exponent_bits
+        assert wide.exponent_bits <= 11  # ~log2(600) + const
+
+    def test_more_mantissa_less_error(self):
+        coarse = DistanceCodec(0.1, 10.0, mantissa_bits=4)
+        fine = DistanceCodec(0.1, 10.0, mantissa_bits=12)
+        assert fine.relative_error < coarse.relative_error
+
+    def test_for_metric(self, hypercube32):
+        codec = DistanceCodec.for_metric(hypercube32)
+        d = hypercube32.distance(0, 1)
+        assert codec.roundtrip(d) >= d
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DistanceCodec(1.0, 2.0, mantissa_bits=1)
+        with pytest.raises(ValueError):
+            DistanceCodec(0.0, 2.0)
+        with pytest.raises(ValueError):
+            DistanceCodec(3.0, 2.0)
+
+    def test_sum_preserves_approximation(self):
+        """The §3 argument: x'+y' approximates x+y when both round up."""
+        codec = DistanceCodec(0.01, 100.0, mantissa_bits=8)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x, y = rng.uniform(0.01, 50.0, size=2)
+            s = codec.roundtrip(float(x)) + codec.roundtrip(float(y))
+            assert x + y <= s <= (x + y) * (1 + codec.relative_error) + 1e-12

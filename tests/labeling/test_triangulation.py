@@ -1,0 +1,98 @@
+"""Theorem 3.2 — (0,δ)-triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import RingTriangulation, TriangulationDLS
+
+
+@pytest.fixture(scope="module")
+def tri32(hypercube32, scales_hypercube32):
+    return RingTriangulation(hypercube32, delta=0.4, scales=scales_hypercube32)
+
+
+@pytest.fixture(scope="module")
+def tri_exp(expline32, scales_expline32):
+    return RingTriangulation(expline32, delta=0.4, scales=scales_expline32)
+
+
+class TestZeroEpsilonGuarantee:
+    def test_every_pair_has_close_common_beacon_hypercube(self, tri32, hypercube32):
+        """The (0,·) part: the guarantee holds for ALL pairs."""
+        for u, v in hypercube32.pairs():
+            assert tri32.has_close_common_beacon(u, v)
+
+    def test_every_pair_has_close_common_beacon_expline(self, tri_exp, expline32):
+        for u, v in expline32.pairs():
+            assert tri_exp.has_close_common_beacon(u, v)
+
+    def test_worst_ratio_within_certificate(self, tri32):
+        assert tri32.worst_ratio() <= tri32.certified_ratio_bound() + 1e-9
+
+    def test_worst_ratio_within_certificate_expline(self, tri_exp):
+        assert tri_exp.worst_ratio() <= tri_exp.certified_ratio_bound() + 1e-9
+
+    def test_estimate_upper_bounds_distance(self, tri32, hypercube32):
+        for u, v in hypercube32.pairs():
+            assert tri32.estimate(u, v) >= hypercube32.distance(u, v) - 1e-12
+
+    def test_estimate_within_one_plus_two_delta(self, tri_exp, expline32):
+        for u, v in expline32.pairs():
+            d = expline32.distance(u, v)
+            assert tri_exp.estimate(u, v) <= (1 + 2 * tri_exp.delta) * d + 1e-9
+
+
+class TestStructure:
+    def test_order_reported(self, tri32):
+        assert 1 <= tri32.order <= 32
+        assert tri32.mean_order() <= tri32.order
+
+    def test_beacon_distances_exact(self, tri32, hypercube32):
+        label = tri32.beacons_of(4)
+        for b, d in label.items():
+            assert d == pytest.approx(hypercube32.distance(4, b))
+
+    def test_common_beacons_symmetric(self, tri32):
+        assert set(tri32.common_beacons(1, 8)) == set(tri32.common_beacons(8, 1))
+
+    def test_self_estimate(self, tri32):
+        assert tri32.estimate(3, 3) == 0.0
+
+    def test_rejects_big_delta(self, hypercube32):
+        with pytest.raises(ValueError, match="1/2"):
+            RingTriangulation(hypercube32, delta=0.6)
+
+    def test_expline_order_smaller_than_n(self, tri_exp, expline32):
+        """On the sparse exponential line rings stay small."""
+        assert tri_exp.order < expline32.n
+
+
+class TestTriangulationDLS:
+    @pytest.fixture(scope="class")
+    def dls(self, tri32):
+        return TriangulationDLS(tri32)
+
+    def test_estimate_sound_and_tight(self, dls, tri32, hypercube32):
+        slack = 1 + 2 * dls.codec.relative_error
+        for u, v in hypercube32.pairs():
+            d = hypercube32.distance(u, v)
+            est = dls.estimate(u, v)
+            assert est >= d / slack
+            assert est <= (1 + 2 * tri32.delta) * d * slack + 1e-9
+
+    def test_self_zero(self, dls):
+        assert dls.estimate(5, 5) == 0.0
+
+    def test_label_bits_structure(self, dls):
+        account = dls.label_bits(0)
+        assert set(account.components) == {"neighbor_ids", "neighbor_distances"}
+        assert account.total_bits > 0
+
+    def test_max_label_bits(self, dls):
+        per_node = [dls.label_bits(u).total_bits for u in range(32)]
+        assert dls.max_label_bits() == max(per_node)
+
+    def test_label_contents_quantized(self, dls, hypercube32):
+        for b, stored in dls.label(7).items():
+            true = hypercube32.distance(7, b)
+            assert stored >= true - 1e-12

@@ -1,0 +1,76 @@
+"""Meridian rings and closest-node search."""
+
+import numpy as np
+import pytest
+
+from repro.meridian import MeridianOverlay, closest_node_search
+from repro.metrics import internet_like_metric, random_hypercube_metric
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    metric = internet_like_metric(80, seed=42)
+    return MeridianOverlay(metric, seed=0)
+
+
+class TestOverlayStructure:
+    def test_ring_members_in_annulus(self, overlay):
+        metric = overlay.metric
+        for node in overlay.nodes[:10]:
+            row = metric.distances_from(node.node)
+            for i, members in node.rings.items():
+                hi = overlay._inner_radius * overlay.ring_base**i
+                lo = 0.0 if i == 0 else hi / overlay.ring_base
+                for v in members:
+                    assert lo < row[v] <= hi * (1 + 1e-9)
+
+    def test_ring_size_cap(self, overlay):
+        for node in overlay.nodes:
+            for members in node.rings.values():
+                assert len(members) <= overlay.nodes_per_ring
+
+    def test_out_degree_polylog_ish(self, overlay):
+        # <= rings * nodes_per_ring.
+        assert overlay.max_out_degree() <= overlay.num_rings * overlay.nodes_per_ring
+
+    def test_ring_of_distance(self, overlay):
+        assert overlay.ring_of_distance(overlay._inner_radius / 2) == 0
+        big = overlay.ring_of_distance(overlay.metric.diameter())
+        assert big < overlay.num_rings
+
+    def test_rejects_bad_params(self):
+        metric = random_hypercube_metric(10, seed=0)
+        with pytest.raises(ValueError):
+            MeridianOverlay(metric, ring_base=1.0)
+        with pytest.raises(ValueError):
+            MeridianOverlay(metric, nodes_per_ring=0)
+
+
+class TestClosestNodeSearch:
+    def test_finds_near_optimal(self, overlay):
+        approximations = []
+        n = overlay.metric.n
+        for t in range(0, n, 5):
+            result = closest_node_search(overlay, start=(t * 31 + 7) % n, target=t)
+            approximations.append(result.approximation)
+        assert float(np.median(approximations)) <= 1.6
+        assert min(approximations) == 1.0
+
+    def test_result_excludes_target(self, overlay):
+        result = closest_node_search(overlay, start=3, target=10)
+        assert result.found != 10
+
+    def test_distance_never_increases(self, overlay):
+        result = closest_node_search(overlay, start=0, target=40)
+        row = overlay.metric.distances_from(40)
+        dists = [row[v] for v in result.path]
+        assert all(a >= b for a, b in zip(dists, dists[1:]))
+
+    def test_beta_validated(self, overlay):
+        with pytest.raises(ValueError):
+            closest_node_search(overlay, 0, 1, beta=1.5)
+
+    def test_smaller_beta_fewer_hops(self, overlay):
+        loose = closest_node_search(overlay, 0, 55, beta=0.9)
+        tight = closest_node_search(overlay, 0, 55, beta=0.3)
+        assert tight.hops <= loose.hops

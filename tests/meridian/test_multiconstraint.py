@@ -1,0 +1,67 @@
+"""Meridian multi-constraint queries."""
+
+import pytest
+
+from repro.meridian import MeridianOverlay, multi_constraint_search
+from repro.metrics import internet_like_metric
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return MeridianOverlay(internet_like_metric(80, seed=55), nodes_per_ring=8, seed=0)
+
+
+class TestMultiConstraint:
+    def test_trivially_satisfiable(self, overlay):
+        """A constraint the start node itself satisfies."""
+        metric = overlay.metric
+        target = 10
+        bound = metric.diameter() * 2
+        result = multi_constraint_search(overlay, start=3, constraints=[(target, bound)])
+        assert result.satisfied
+        assert result.found == 3
+        assert result.hops == 0
+
+    def test_finds_satisfying_node(self, overlay):
+        """Bounds chosen so a known node satisfies them."""
+        metric = overlay.metric
+        pivot = 20
+        row = metric.distances_from(pivot)
+        targets = [5, 40, 70]
+        constraints = [(t, float(row[t]) * 1.6 + 1e-9) for t in targets]
+        result = multi_constraint_search(overlay, start=63, constraints=constraints)
+        if result.satisfied:
+            for t, bound in constraints:
+                assert metric.distance(result.found, t) <= bound + 1e-9
+        else:
+            # Greedy descent can stall; the score must still have improved.
+            start_score = sum(
+                max(0.0, metric.distance(63, t) - b) for t, b in constraints
+            )
+            assert result.final_score <= start_score
+
+    def test_impossible_constraints_fail_cleanly(self, overlay):
+        result = multi_constraint_search(
+            overlay, start=0, constraints=[(1, 0.0), (79, 0.0)]
+        )
+        assert not result.satisfied
+        assert result.final_score > 0
+
+    def test_score_monotone_along_path(self, overlay):
+        metric = overlay.metric
+        constraints = [(7, metric.diameter() / 8), (50, metric.diameter() / 8)]
+        result = multi_constraint_search(overlay, start=0, constraints=constraints)
+        scores = []
+        for v in result.path:
+            scores.append(
+                sum(max(0.0, metric.distance(v, t) - b) for t, b in constraints)
+            )
+        assert all(a > b or b == 0 for a, b in zip(scores, scores[1:]))
+
+    def test_validation(self, overlay):
+        with pytest.raises(ValueError):
+            multi_constraint_search(overlay, 0, [])
+        with pytest.raises(ValueError):
+            multi_constraint_search(overlay, 0, [(999, 1.0)])
+        with pytest.raises(ValueError):
+            multi_constraint_search(overlay, 0, [(1, -1.0)])

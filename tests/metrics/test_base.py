@@ -1,0 +1,119 @@
+"""MetricSpace derived queries (balls, r_u radii, global shape)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import DistanceMatrixMetric, EuclideanMetric, uniform_line
+
+
+@pytest.fixture(scope="module")
+def line5():
+    return uniform_line(5)  # points at 0, 1, 2, 3, 4
+
+
+class TestBalls:
+    def test_closed_ball_includes_boundary(self, line5):
+        assert set(line5.ball(0, 2.0)) == {0, 1, 2}
+
+    def test_open_ball_excludes_boundary(self, line5):
+        assert set(line5.ball(0, 2.0, open_ball=True)) == {0, 1}
+
+    def test_ball_always_contains_center(self, line5):
+        for u in line5.nodes():
+            assert u in line5.ball(u, 0.0)
+
+    def test_ball_size_matches_ball(self, line5):
+        for u in line5.nodes():
+            for r in (0.0, 0.5, 1.0, 2.5, 10.0):
+                assert line5.ball_size(u, r) == len(line5.ball(u, r))
+
+    def test_open_ball_size_matches(self, line5):
+        for u in line5.nodes():
+            for r in (0.5, 1.0, 2.0):
+                assert line5.ball_size(u, r, open_ball=True) == len(
+                    line5.ball(u, r, open_ball=True)
+                )
+
+    def test_ball_monotone_in_radius(self, hypercube32):
+        u = 7
+        sizes = [hypercube32.ball_size(u, r) for r in np.linspace(0, 2, 20)]
+        assert sizes == sorted(sizes)
+
+
+class TestRadii:
+    def test_radius_for_count_one_is_zero(self, line5):
+        assert line5.radius_for_count(0, 1) == 0.0
+
+    def test_radius_for_count_full(self, line5):
+        assert line5.radius_for_count(0, 5) == 4.0
+        assert line5.radius_for_count(2, 5) == 2.0
+
+    def test_radius_is_smallest(self, hypercube32):
+        for u in (0, 5, 17):
+            for k in (2, 8, 16):
+                r = hypercube32.radius_for_count(u, k)
+                assert hypercube32.ball_size(u, r) >= k
+                assert hypercube32.ball_size(u, r, open_ball=True) < k
+
+    def test_radius_for_count_clamps(self, line5):
+        assert line5.radius_for_count(0, 0) == 0.0
+        assert line5.radius_for_count(0, 99) == 4.0
+
+    def test_rui_zero_covers_everything(self, hypercube32):
+        for u in (0, 9):
+            r = hypercube32.rui(u, 0)
+            assert hypercube32.ball_size(u, r) == hypercube32.n
+
+    def test_rui_decreasing_in_i(self, hypercube32):
+        for u in (3, 21):
+            radii = [hypercube32.rui(u, i) for i in range(6)]
+            assert all(radii[i] >= radii[i + 1] for i in range(5))
+
+    def test_radius_for_fraction_matches_rui(self, hypercube32):
+        for u in (2, 30):
+            for i in (0, 2, 4):
+                assert hypercube32.radius_for_fraction(
+                    u, 2.0**-i
+                ) == pytest.approx(hypercube32.rui(u, i))
+
+
+class TestGlobalShape:
+    def test_diameter_and_min_distance(self, line5):
+        assert line5.diameter() == 4.0
+        assert line5.min_distance() == 1.0
+        assert line5.aspect_ratio() == 4.0
+
+    def test_log_aspect_ratio(self, line5):
+        assert line5.log_aspect_ratio() == 2
+
+    def test_aspect_ratio_rejects_duplicates(self):
+        metric = EuclideanMetric(np.array([[0.0], [0.0], [1.0]]))
+        with pytest.raises(ValueError):
+            metric.aspect_ratio()
+
+    def test_nearest_neighbor(self, line5):
+        assert line5.nearest_neighbor(0) == 1
+        assert line5.nearest_neighbor(4) == 3
+
+    def test_pairs_count(self, line5):
+        assert len(list(line5.pairs())) == 10
+
+    def test_validate_passes(self, hypercube32):
+        hypercube32.validate()
+
+    def test_len(self, line5):
+        assert len(line5) == 5
+
+
+class TestValidation:
+    def test_validate_catches_triangle_violation(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        metric = DistanceMatrixMetric(bad)
+        with pytest.raises(ValueError, match="triangle"):
+            metric.validate(samples=500)

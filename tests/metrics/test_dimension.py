@@ -1,0 +1,81 @@
+"""Doubling / grid dimension estimators (paper §1 separations)."""
+
+import pytest
+
+from repro.metrics import (
+    doubling_dimension,
+    exponential_line,
+    grid_dimension,
+    grid_metric,
+    random_hypercube_metric,
+    uniform_line,
+)
+from repro.metrics.dimension import greedy_ball_cover, lemma_1_2_lower_bound
+
+
+class TestDoublingDimension:
+    def test_line_is_about_one(self):
+        m = uniform_line(64)
+        dim = doubling_dimension(m, sample_centers=16)
+        assert 0.5 <= dim <= 2.5
+
+    def test_plane_is_about_two(self):
+        m = random_hypercube_metric(128, dim=2, seed=0)
+        dim = doubling_dimension(m, sample_centers=16)
+        assert 1.0 <= dim <= 4.5
+
+    def test_exponential_line_stays_constant(self):
+        """The paper's key example: doubling dim O(1) despite huge Δ."""
+        m = exponential_line(64)
+        dim = doubling_dimension(m, sample_centers=16)
+        assert dim <= 3.0
+
+    def test_single_point(self):
+        m = uniform_line(1)
+        assert doubling_dimension(m) == 0.0
+
+
+class TestGridDimension:
+    def test_exponential_line_grid_dim_grows(self):
+        """Grid dimension separates from doubling dimension (§1)."""
+        small = grid_dimension(exponential_line(16), sample_centers=16)
+        large = grid_dimension(exponential_line(128), sample_centers=16)
+        assert large > small
+        assert large > doubling_dimension(exponential_line(128), sample_centers=16)
+
+    def test_uniform_line_grid_dim_small(self):
+        m = uniform_line(64)
+        assert grid_dimension(m, sample_centers=16) <= 2.5
+
+
+class TestGreedyCover:
+    def test_cover_covers(self, hypercube32):
+        import numpy as np
+
+        nodes = np.arange(hypercube32.n)
+        centers = greedy_ball_cover(hypercube32, nodes, radius=0.3)
+        for v in nodes:
+            assert any(hypercube32.distance(c, v) <= 0.3 for c in centers)
+
+    def test_cover_of_empty(self, hypercube32):
+        import numpy as np
+
+        assert greedy_ball_cover(hypercube32, np.array([], dtype=int), 1.0) == []
+
+    def test_zero_radius_cover_is_everything(self, hypercube32):
+        import numpy as np
+
+        nodes = np.arange(hypercube32.n)
+        centers = greedy_ball_cover(hypercube32, nodes, radius=0.0)
+        assert len(centers) == hypercube32.n
+
+
+class TestLemma12:
+    def test_holds_for_measured_dimension(self):
+        m = grid_metric(6)
+        alpha = max(1.0, doubling_dimension(m, sample_centers=16))
+        assert lemma_1_2_lower_bound(m, alpha)
+
+    def test_rejects_nonpositive_alpha(self, hypercube32):
+        with pytest.raises(ValueError):
+            lemma_1_2_lower_bound(hypercube32, 0.0)

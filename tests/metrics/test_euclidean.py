@@ -1,0 +1,65 @@
+"""EuclideanMetric under different l_p norms."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import EuclideanMetric
+
+
+@pytest.fixture
+def square():
+    """Unit square corners."""
+    return np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+
+
+class TestNorms:
+    def test_l2(self, square):
+        m = EuclideanMetric(square, p=2.0)
+        assert m.distance(0, 3) == pytest.approx(np.sqrt(2))
+        assert m.distance(0, 1) == pytest.approx(1.0)
+
+    def test_l1(self, square):
+        m = EuclideanMetric(square, p=1.0)
+        assert m.distance(0, 3) == pytest.approx(2.0)
+
+    def test_linf(self, square):
+        m = EuclideanMetric(square, p=np.inf)
+        assert m.distance(0, 3) == pytest.approx(1.0)
+
+    def test_lp_general(self, square):
+        m = EuclideanMetric(square, p=3.0)
+        assert m.distance(0, 3) == pytest.approx(2.0 ** (1.0 / 3.0))
+
+    def test_rejects_p_below_one(self, square):
+        with pytest.raises(ValueError, match="p >= 1"):
+            EuclideanMetric(square, p=0.5)
+
+
+class TestShape:
+    def test_1d_input_promoted(self):
+        m = EuclideanMetric(np.array([0.0, 3.0, 7.0]))
+        assert m.dim == 1
+        assert m.distance(0, 2) == 7.0
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match=r"\(n, k\)"):
+            EuclideanMetric(np.zeros((2, 2, 2)))
+
+    def test_n_and_dim(self, square):
+        m = EuclideanMetric(square)
+        assert m.n == 4
+        assert m.dim == 2
+
+    def test_row_self_distance_zero(self, square):
+        m = EuclideanMetric(square)
+        for u in m.nodes():
+            assert m.distances_from(u)[u] == 0.0
+
+    def test_rows_are_cached(self, square):
+        m = EuclideanMetric(square)
+        assert m.distances_from(1) is m.distances_from(1)
+
+    def test_symmetry(self, square):
+        m = EuclideanMetric(square)
+        for u, v in m.pairs():
+            assert m.distance(u, v) == pytest.approx(m.distance(v, u))

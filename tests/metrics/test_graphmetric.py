@@ -1,0 +1,48 @@
+"""ShortestPathMetric — graph-induced metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import WeightedGraph, grid_graph
+from repro.metrics.graphmetric import ShortestPathMetric
+
+
+class TestShortestPathMetric:
+    def test_path_graph(self):
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        g.add_edge(2, 3, 3.0)
+        m = ShortestPathMetric(g)
+        assert m.distance(0, 3) == 6.0
+        assert m.distance(1, 3) == 5.0
+
+    def test_shortcut_wins(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 2, 5.0)
+        m = ShortestPathMetric(g)
+        assert m.distance(0, 2) == 2.0
+
+    def test_grid_distances(self, grid_graph5):
+        m = ShortestPathMetric(grid_graph5)
+        # Corner to corner on a 5x5 unit grid: 8 hops.
+        assert m.distance(0, 24) == pytest.approx(8.0)
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        with pytest.raises(ValueError, match="connected"):
+            ShortestPathMetric(g)
+
+    def test_is_valid_metric(self, knn_metric64):
+        knn_metric64.validate(samples=300)
+
+    def test_graph_property(self, grid_graph5):
+        m = ShortestPathMetric(grid_graph5)
+        assert m.graph is grid_graph5
+
+    def test_matrix_symmetric(self, knn_metric64):
+        assert np.allclose(knn_metric64.matrix, knn_metric64.matrix.T)

@@ -1,0 +1,59 @@
+"""Scale-coded lower-bound metric family ([44]-style)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import label_entropy_bits, scale_coded_metric
+from repro.metrics.dimension import doubling_dimension
+
+
+class TestScaleCodedMetric:
+    def test_is_valid_metric(self):
+        metric, _bits = scale_coded_metric(depth=4, scales_per_level=3, seed=0)
+        assert metric.n == 16
+        metric.validate(samples=400)
+
+    def test_aspect_ratio_in_window(self):
+        """Δ lands in roughly [(n/2)^M, n^M]-scale territory."""
+        depth, m = 4, 3
+        metric, _bits = scale_coded_metric(depth=depth, scales_per_level=m, seed=1)
+        log_delta = math.log2(metric.aspect_ratio())
+        assert log_delta >= (depth - 1) * 1.0
+        assert log_delta <= depth * m + 1
+
+    def test_code_bits_reported(self):
+        _metric, bits = scale_coded_metric(depth=3, scales_per_level=4, seed=2)
+        assert bits == (8 - 1) * 2
+
+    def test_low_doubling_dimension(self):
+        metric, _ = scale_coded_metric(depth=5, scales_per_level=2, seed=3)
+        assert doubling_dimension(metric, sample_centers=16) <= 5.0
+
+    def test_deterministic(self):
+        a, _ = scale_coded_metric(depth=3, scales_per_level=3, seed=7)
+        b, _ = scale_coded_metric(depth=3, scales_per_level=3, seed=7)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            scale_coded_metric(depth=0, scales_per_level=2)
+        with pytest.raises(ValueError):
+            scale_coded_metric(depth=2, scales_per_level=0)
+
+
+class TestEntropy:
+    def test_entropy_formula(self):
+        assert label_entropy_bits(16, 4) == pytest.approx(4 * 2)
+
+    def test_entropy_grows_with_scales(self):
+        assert label_entropy_bits(64, 16) > label_entropy_bits(64, 2)
+
+    def test_labels_exceed_entropy(self):
+        """Our (1+δ)-DLS must carry at least the code information."""
+        from repro.labeling import RingDLS
+
+        metric, _ = scale_coded_metric(depth=4, scales_per_level=3, seed=4)
+        dls = RingDLS(metric, delta=0.3)
+        assert dls.max_label_bits() >= label_entropy_bits(16, 3)

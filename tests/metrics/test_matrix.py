@@ -1,0 +1,68 @@
+"""DistanceMatrixMetric construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import DistanceMatrixMetric
+
+
+def simple_matrix():
+    return np.array(
+        [
+            [0.0, 1.0, 2.0],
+            [1.0, 0.0, 1.5],
+            [2.0, 1.5, 0.0],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = DistanceMatrixMetric(simple_matrix())
+        assert m.n == 3
+        assert m.distance(0, 2) == 2.0
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            DistanceMatrixMetric(np.zeros((2, 3)))
+
+    def test_rejects_nonzero_diagonal(self):
+        mat = simple_matrix()
+        mat[1, 1] = 0.1
+        with pytest.raises(ValueError, match="diagonal"):
+            DistanceMatrixMetric(mat)
+
+    def test_rejects_asymmetry(self):
+        mat = simple_matrix()
+        mat[0, 1] = 5.0
+        with pytest.raises(ValueError, match="symmetric"):
+            DistanceMatrixMetric(mat)
+
+    def test_rejects_negative(self):
+        mat = simple_matrix()
+        mat[0, 1] = mat[1, 0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            DistanceMatrixMetric(mat)
+
+    def test_triangle_check_passes(self):
+        DistanceMatrixMetric(simple_matrix(), check_triangle=True)
+
+    def test_triangle_check_fails(self):
+        mat = np.array(
+            [
+                [0.0, 1.0, 9.0],
+                [1.0, 0.0, 1.0],
+                [9.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(ValueError, match="triangle"):
+            DistanceMatrixMetric(mat, check_triangle=True)
+
+    def test_distances_from_row(self):
+        m = DistanceMatrixMetric(simple_matrix())
+        assert np.array_equal(m.distances_from(1), simple_matrix()[1])
+
+    def test_matrix_property(self):
+        mat = simple_matrix()
+        m = DistanceMatrixMetric(mat)
+        assert np.array_equal(m.matrix, mat)

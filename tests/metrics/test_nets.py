@@ -1,0 +1,104 @@
+"""r-nets and nested hierarchies (paper §1.1, Lemma 1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import NestedNets, greedy_net, uniform_line
+from repro.metrics.nets import is_r_net
+
+
+class TestGreedyNet:
+    def test_is_valid_net(self, hypercube32):
+        for r in (0.1, 0.3, 0.8):
+            net = greedy_net(hypercube32, r)
+            assert is_r_net(hypercube32, net, r)
+
+    def test_tiny_radius_takes_all(self, hypercube32):
+        r = hypercube32.min_distance()
+        net = greedy_net(hypercube32, r)
+        assert len(net) == hypercube32.n
+
+    def test_huge_radius_single_point(self, hypercube32):
+        net = greedy_net(hypercube32, 100.0)
+        assert len(net) == 1
+
+    def test_seeded_net_keeps_seeds(self, hypercube32):
+        coarse = greedy_net(hypercube32, 0.8)
+        fine = greedy_net(hypercube32, 0.2, seed_points=coarse)
+        assert set(coarse) <= set(fine)
+        assert is_r_net(hypercube32, fine, 0.2)
+
+    def test_deterministic(self, hypercube32):
+        assert greedy_net(hypercube32, 0.25) == greedy_net(hypercube32, 0.25)
+
+    def test_line_net_spacing(self):
+        m = uniform_line(10)
+        net = greedy_net(m, 2.0)
+        positions = sorted(net)
+        for a, b in zip(positions, positions[1:]):
+            assert m.distance(a, b) >= 2.0
+
+
+class TestNestedNets:
+    @pytest.fixture(scope="class")
+    def nets(self, hypercube32):
+        return NestedNets(
+            hypercube32, levels=6, base_radius=hypercube32.min_distance()
+        )
+
+    def test_each_level_is_net(self, nets, hypercube32):
+        for j in range(nets.levels):
+            assert is_r_net(hypercube32, nets.net(j), nets.radius_of(j))
+
+    def test_nesting(self, nets):
+        for j in range(nets.levels - 1):
+            assert set(nets.net(j + 1)) <= set(nets.net(j))
+
+    def test_level_zero_contains_all(self, nets, hypercube32):
+        """G_0 has radius = min distance, so every node qualifies."""
+        assert len(nets.net(0)) == hypercube32.n
+
+    def test_descending_convention(self, hypercube32):
+        nets = NestedNets(
+            hypercube32, levels=5, base_radius=hypercube32.diameter(), descending=True
+        )
+        for j in range(4):
+            assert nets.radius_of(j) > nets.radius_of(j + 1)
+            assert set(nets.net(j)) <= set(nets.net(j + 1))
+        for j in range(5):
+            assert is_r_net(hypercube32, nets.net(j), nets.radius_of(j))
+
+    def test_members_in_ball(self, nets, hypercube32):
+        u = 3
+        members = nets.members_in_ball(2, u, 0.5)
+        row = hypercube32.distances_from(u)
+        assert all(row[v] <= 0.5 for v in members)
+        net_set = set(nets.net(2))
+        assert all(int(v) in net_set for v in members)
+
+    def test_nearest_member_within_radius(self, nets, hypercube32):
+        for j in range(nets.levels):
+            for u in (0, 11, 31):
+                m = nets.nearest_member(j, u)
+                assert hypercube32.distance(u, m) <= nets.radius_of(j)
+
+    def test_lemma_1_4_cardinality_bound(self, nets, hypercube32):
+        """|net ∩ B(u, r')| <= (4 r'/r)^alpha for a generous alpha."""
+        alpha = 4.0  # generous for a 2-d point set
+        for j in range(1, nets.levels):
+            r = nets.radius_of(j)
+            for u in (0, 15):
+                for mult in (1.0, 2.0, 4.0):
+                    count = len(nets.members_in_ball(j, u, mult * r))
+                    assert count <= (4 * mult) ** alpha + 1
+
+    def test_bad_level_raises(self, nets):
+        with pytest.raises(KeyError):
+            nets.net(99)
+
+    def test_rejects_zero_levels(self, hypercube32):
+        with pytest.raises(ValueError):
+            NestedNets(hypercube32, levels=0)
+
+    def test_len(self, nets):
+        assert len(nets) == 6

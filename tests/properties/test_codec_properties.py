@@ -1,0 +1,63 @@
+"""Property-based tests: distance codec and bit accounting."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import SizeAccount, bits_for_count, bits_for_value
+from repro.labeling.encoding import DistanceCodec
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+    st.integers(min_value=2, max_value=16),
+)
+def test_codec_rounds_up_within_bound(d, mantissa_bits):
+    codec = DistanceCodec(1e-6, 1e9, mantissa_bits=mantissa_bits)
+    approx = codec.roundtrip(d)
+    assert approx >= d * (1 - 1e-12)
+    assert approx <= d * (1 + codec.relative_error) * (1 + 1e-12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.floats(min_value=1e-3, max_value=1e3), st.floats(min_value=1e-3, max_value=1e3))
+def test_codec_order_preserving(a, b):
+    codec = DistanceCodec(1e-3, 1e3, mantissa_bits=8)
+    if a <= b:
+        assert codec.roundtrip(a) <= codec.roundtrip(b) * (1 + 1e-12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_bits_for_count_sufficient(k):
+    bits = bits_for_count(k)
+    assert 2**bits >= max(1, k)
+    if k >= 2:
+        assert 2 ** (bits - 1) < k
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_bits_for_value_sufficient(v):
+    assert 2 ** bits_for_value(v) > v
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=5), st.integers(0, 1000), max_size=6))
+def test_size_account_total(components):
+    account = SizeAccount(dict(components))
+    assert account.total_bits == sum(components.values())
+    assert account.total_bytes * 8 == account.total_bits
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(st.text(min_size=1, max_size=3), st.integers(0, 100), max_size=4),
+    st.dictionaries(st.text(min_size=1, max_size=3), st.integers(0, 100), max_size=4),
+)
+def test_size_account_merge_commutes_on_total(a, b):
+    left = SizeAccount(dict(a)) + SizeAccount(dict(b))
+    right = SizeAccount(dict(b)) + SizeAccount(dict(a))
+    assert left.total_bits == right.total_bits

@@ -1,0 +1,83 @@
+"""Property-based tests: metric axioms and derived-query invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import DistanceMatrixMetric, EuclideanMetric
+
+
+@st.composite
+def point_sets(draw, max_n=12, max_dim=3):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    flat = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=n * dim,
+            max_size=n * dim,
+        )
+    )
+    points = np.array(flat).reshape(n, dim)
+    # Nudge duplicate points apart so aspect-ratio queries are defined.
+    for i in range(n):
+        points[i, 0] += i * 1e-6
+    return points
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets(), st.floats(min_value=1.0, max_value=4.0))
+def test_lp_triangle_inequality(points, p):
+    metric = EuclideanMetric(points, p=p)
+    n = metric.n
+    for a in range(n):
+        row_a = metric.distances_from(a)
+        for b in range(n):
+            for c in range(n):
+                assert row_a[b] <= row_a[c] + metric.distance(c, b) + 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets())
+def test_symmetry_and_identity(points):
+    metric = EuclideanMetric(points)
+    for u in range(metric.n):
+        assert metric.distance(u, u) == 0.0
+        for v in range(metric.n):
+            assert np.isclose(metric.distance(u, v), metric.distance(v, u))
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets(), st.integers(min_value=1, max_value=12))
+def test_radius_for_count_is_minimal(points, k):
+    metric = EuclideanMetric(points)
+    k = min(k, metric.n)
+    for u in range(metric.n):
+        r = metric.radius_for_count(u, k)
+        assert metric.ball_size(u, r) >= k
+        if r > 0:
+            assert metric.ball_size(u, r, open_ball=True) < k
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets())
+def test_ball_nested_monotone(points):
+    metric = EuclideanMetric(points)
+    diam = metric.diameter()
+    for u in range(min(3, metric.n)):
+        inner = set(metric.ball(u, diam / 4))
+        outer = set(metric.ball(u, diam / 2))
+        assert inner <= outer
+
+
+@settings(max_examples=30, deadline=None)
+@given(point_sets())
+def test_matrix_roundtrip(points):
+    """Materializing an l_2 metric as a matrix preserves all queries."""
+    euclid = EuclideanMetric(points)
+    rows = np.vstack([euclid.distances_from(u) for u in range(euclid.n)])
+    rows = (rows + rows.T) / 2  # exact symmetry for the validator
+    matrix = DistanceMatrixMetric(rows)
+    for u in range(euclid.n):
+        assert np.allclose(matrix.distances_from(u), rows[u])
+    assert np.isclose(matrix.diameter(), euclid.diameter())

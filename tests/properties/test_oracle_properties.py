@@ -1,0 +1,56 @@
+"""Property-based tests for the labeling schemes' soundness guarantees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import RingDLS, ThorupZwickOracle
+from repro.metrics import EuclideanMetric
+
+
+@st.composite
+def line_metrics(draw, min_n=4, max_n=14):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    xs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5000),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return EuclideanMetric(np.array(sorted(xs), dtype=float)[:, None] * 0.1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(line_metrics(), st.integers(min_value=1, max_value=3), st.integers(0, 100))
+def test_thorup_zwick_sound_on_random_lines(metric, k, seed):
+    oracle = ThorupZwickOracle(metric, k=k, seed=seed, mantissa_bits=12)
+    bound = oracle.stretch_bound() * (1 + 2 * oracle.codec.relative_error)
+    for u, v in metric.pairs():
+        d = metric.distance(u, v)
+        est = oracle.estimate(u, v)
+        assert d * (1 - 1e-9) <= est <= bound * d * (1 + 1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(line_metrics(min_n=4, max_n=10))
+def test_ring_dls_sound_on_random_lines(metric):
+    dls = RingDLS(metric, delta=0.4)
+    for u, v in metric.pairs():
+        d = metric.distance(u, v)
+        est = dls.estimate(u, v)
+        assert d * (1 - 1e-9) <= est <= (1 + 2.5 * 0.4) * d + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(line_metrics(), st.integers(0, 50))
+def test_tz_hierarchy_invariants(metric, seed):
+    oracle = ThorupZwickOracle(metric, k=3, seed=seed)
+    # Nested levels, non-empty, pivot distances monotone in level.
+    for upper, lower in zip(oracle.levels[1:], oracle.levels[:-1]):
+        assert set(int(x) for x in upper) <= set(int(x) for x in lower)
+        assert upper.size >= 1
+    for v in range(metric.n):
+        dists = oracle._pivot_dist[v]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))

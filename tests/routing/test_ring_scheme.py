@@ -1,0 +1,100 @@
+"""Theorem 2.1 routing scheme."""
+
+import numpy as np
+import pytest
+
+from repro.routing import RingRouting, evaluate_scheme
+
+
+@pytest.fixture(scope="module")
+def scheme(knn_graph64):
+    return RingRouting(knn_graph64, delta=0.25)
+
+
+class TestDeliveryAndStretch:
+    def test_all_pairs_delivered(self, scheme, knn_metric64):
+        stats = evaluate_scheme(scheme, knn_metric64.matrix, sample_pairs=500, seed=1)
+        assert stats.delivery_rate == 1.0
+
+    def test_stretch_bound(self, scheme, knn_metric64):
+        """Claim 2.5: stretch 1 + O(delta); assert 1 + 4*delta."""
+        stats = evaluate_scheme(scheme, knn_metric64.matrix, sample_pairs=500, seed=1)
+        assert stats.max_stretch <= 1 + 4 * scheme.delta
+
+    def test_smaller_delta_smaller_stretch(self, knn_graph64, knn_metric64):
+        tight = RingRouting(knn_graph64, delta=0.1, metric=knn_metric64)
+        loose = RingRouting(knn_graph64, delta=0.45, metric=knn_metric64)
+        s_tight = evaluate_scheme(tight, knn_metric64.matrix, sample_pairs=200, seed=2)
+        s_loose = evaluate_scheme(loose, knn_metric64.matrix, sample_pairs=200, seed=2)
+        assert s_tight.max_stretch <= s_loose.max_stretch + 0.05
+
+    def test_self_route(self, scheme):
+        result = scheme.route(9, 9)
+        assert result.reached and result.hops == 0
+
+    def test_path_edges_exist(self, scheme, knn_graph64):
+        result = scheme.route(0, 50)
+        for a, b in zip(result.path, result.path[1:]):
+            assert knn_graph64.has_edge(a, b)
+
+
+class TestStructuralClaims:
+    def test_claim_2_3_zooming_membership(self, scheme):
+        """f_tj lies in the ring Y_fj of the previous element f."""
+        for t in (0, 17, 63):
+            zoom = scheme._zoom[t]
+            for j in range(1, scheme.levels):
+                assert zoom[j] in set(scheme.ring(zoom[j - 1], j))
+
+    def test_level0_rings_coincide(self, scheme, knn_graph64):
+        rings = {scheme.ring(u, 0) for u in range(knn_graph64.n)}
+        assert len(rings) == 1
+
+    def test_ring_members_in_ball_and_net(self, scheme, knn_metric64):
+        for u in (0, 40):
+            for j in range(scheme.levels):
+                net_set = set(scheme.nets.net(j))
+                row = knn_metric64.distances_from(u)
+                for v in scheme.ring(u, j):
+                    assert v in net_set
+                    assert row[v] <= scheme._ring_radius[j] + 1e-9
+
+    def test_decode_matches_direct_indices(self, scheme):
+        """Claim 2.2: the translation decode recovers phi_uj(f_tj)."""
+        for u, t in [(0, 63), (25, 3)]:
+            decoded = scheme._decode(u, scheme.labels[t])
+            zoom = scheme._zoom[t]
+            for j, m in enumerate(decoded):
+                assert scheme.ring(u, j)[m] == zoom[j]
+
+    def test_decode_depth_grows_for_close_pairs(self, scheme, knn_metric64):
+        """j_ut >= log(Delta / (delta d)) - ish: closer targets decode deeper."""
+        u = 0
+        far = int(np.argmax(knn_metric64.distances_from(u)))
+        near = knn_metric64.nearest_neighbor(u)
+        assert len(scheme._decode(u, scheme.labels[near])) >= len(
+            scheme._decode(u, scheme.labels[far])
+        )
+
+
+class TestAccounting:
+    def test_header_bits_positive(self, scheme):
+        result = scheme.route(0, 1)
+        assert result.header_bits > 0
+
+    def test_table_components(self, scheme):
+        account = scheme.table_bits(0)
+        assert "first_hop_pointers" in account.components
+        assert "translation_triples" in account.components
+
+    def test_dense_accounting_larger(self, scheme):
+        sparse = scheme.table_bits(0).total_bits
+        dense = scheme.table_bits(0, dense_translation=True).total_bits
+        assert dense >= sparse
+
+    def test_max_ring_cardinality_bounded(self, scheme, knn_graph64):
+        assert scheme.max_ring_cardinality() <= knn_graph64.n
+
+    def test_rejects_bad_delta(self, knn_graph64):
+        with pytest.raises(ValueError):
+            RingRouting(knn_graph64, delta=0.0)

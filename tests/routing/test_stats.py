@@ -1,0 +1,33 @@
+"""Scheme comparison reporting helpers."""
+
+import pytest
+
+from repro.routing import RingRouting, TrivialRouting
+from repro.routing.stats import HEADER, compare_schemes, format_comparison
+
+
+class TestCompareSchemes:
+    @pytest.fixture(scope="class")
+    def comparisons(self, knn_graph64, knn_metric64):
+        schemes = {
+            "trivial": TrivialRouting(knn_graph64),
+            "thm2.1": RingRouting(knn_graph64, delta=0.3, metric=knn_metric64),
+        }
+        return compare_schemes(schemes, knn_metric64.matrix, sample_pairs=120, seed=0)
+
+    def test_one_row_per_scheme(self, comparisons):
+        assert [c.name for c in comparisons] == ["trivial", "thm2.1"]
+
+    def test_trivial_is_exact(self, comparisons):
+        trivial = comparisons[0]
+        assert trivial.stats.max_stretch == pytest.approx(1.0)
+
+    def test_same_pairs_for_all(self, comparisons):
+        assert comparisons[0].stats.pairs == comparisons[1].stats.pairs
+
+    def test_format_contains_header_and_rows(self, comparisons):
+        text = format_comparison(comparisons)
+        for column in HEADER:
+            assert column in text
+        assert "trivial" in text and "thm2.1" in text
+        assert len(text.splitlines()) == 3

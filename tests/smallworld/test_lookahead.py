@@ -1,0 +1,58 @@
+"""Lookahead (NoN) routing baseline."""
+
+import pytest
+
+from repro.metrics import exponential_line, uniform_line
+from repro.smallworld import GreedyRingsModel, route_query, route_query_lookahead
+from repro.smallworld.base import ContactGraph
+
+
+class TestLookahead:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        metric = uniform_line(64)
+        model = GreedyRingsModel(metric, c=1.0, alpha_factor=1.0)
+        graph = model.sample_contacts(seed=0)
+        return metric, model, graph
+
+    def test_reaches_target(self, setup):
+        _m, model, graph = setup
+        for s, t in [(0, 63), (5, 40), (62, 1)]:
+            result = route_query_lookahead(model, graph, s, t)
+            assert result.reached
+
+    def test_self_query(self, setup):
+        _m, model, graph = setup
+        result = route_query_lookahead(model, graph, 7, 7)
+        assert result.reached and result.hops == 0
+
+    def test_path_follows_contacts(self, setup):
+        _m, model, graph = setup
+        result = route_query_lookahead(model, graph, 0, 50)
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in graph.contacts[a]
+
+    def test_never_worse_than_greedy_on_sparse_contacts(self):
+        """With sparse contacts, one level of lookahead finds shortcuts
+        plain greedy misses (mean hops not larger)."""
+        metric = exponential_line(96, base=1.7)
+        model = GreedyRingsModel(metric, c=0.5, alpha_factor=0.5)
+        graph = model.sample_contacts(seed=1)
+        greedy_hops, look_hops = [], []
+        for s in range(0, 96, 7):
+            for t in range(3, 96, 11):
+                if s == t:
+                    continue
+                g = route_query(model, graph, s, t)
+                l = route_query_lookahead(model, graph, s, t)
+                if g.reached and l.reached:
+                    greedy_hops.append(g.hops)
+                    look_hops.append(l.hops)
+        assert look_hops, "no common completions"
+        assert sum(look_hops) <= sum(greedy_hops) * 1.05
+
+    def test_handles_empty_contacts(self, setup):
+        metric, model, _graph = setup
+        empty = ContactGraph(contacts=[() for _ in range(metric.n)])
+        result = route_query_lookahead(model, empty, 0, 5)
+        assert not result.reached
