@@ -20,11 +20,9 @@ import math
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import knn_geometric_graph
+from repro import api
 from repro.labeling import RingTriangulation
 from repro.labeling._scales import ScaleStructure
-from repro.metrics import exponential_line
-from repro.metrics.graphmetric import ShortestPathMetric
 from repro.metrics.measure import counting_measure, doubling_measure
 from repro.routing import TwoModeRouting, evaluate_scheme
 from repro.smallworld import GreedyRingsModel, PrunedRingsModel, evaluate_model
@@ -65,8 +63,8 @@ class _RingSubsetModel(GreedyRingsModel):
 
 
 def test_ring_family_ablation(benchmark):
-    metric = exponential_line(128, base=1.7)
-    mu = doubling_measure(metric)
+    workload = api.build_workload("expline", n=128, base=1.7)
+    metric, mu = workload.metric, workload.measure()
     rows = []
     for families, label in (("xy", "X+Y (paper)"), ("x", "X only"), ("y", "Y only")):
         model = _RingSubsetModel(metric, families, c=1.5, mu=mu)
@@ -91,11 +89,12 @@ def test_ring_family_ablation(benchmark):
 def test_measure_ablation(benchmark):
     """Doubling vs counting measure for Y-ring sampling (§5: 'we need to
     oversample nodes that lie in very sparse neighborhoods')."""
-    metric = exponential_line(128, base=1.7)
+    workload = api.build_workload("expline", n=128, base=1.7)
+    metric = workload.metric
     rows = []
     results = {}
     for name, mu in (
-        ("doubling measure", doubling_measure(metric)),
+        ("doubling measure", workload.measure()),
         ("counting measure", counting_measure(metric)),
     ):
         model = GreedyRingsModel(metric, c=1.5, mu=mu)
@@ -119,8 +118,8 @@ def test_measure_ablation(benchmark):
 
 def test_nongreedy_step_ablation(benchmark):
     """Theorem 5.2(b) with step (**) replaced by plain greedy."""
-    metric = exponential_line(128, base=1.7)
-    mu = doubling_measure(metric)
+    workload = api.build_workload("expline", n=128, base=1.7)
+    metric, mu = workload.metric, workload.measure()
 
     class GreedyOnlyPruned(PrunedRingsModel):
         def next_hop(self, u, d_ut, contacts, d_uc, d_ct):
@@ -160,8 +159,8 @@ def test_nongreedy_step_ablation(benchmark):
 
 def test_goodness_ablation(benchmark):
     """Strict Appendix-B constants vs the behavioral condition."""
-    graph = knn_geometric_graph(56, k=4, seed=120)
-    metric = ShortestPathMetric(graph)
+    workload = api.build_workload("knn-graph", n=56, k=4, seed=120)
+    graph, metric = workload.graph, workload.metric
     rows = []
     for name, strict in (("behavioral (default)", False), ("strict App-B", True)):
         scheme = TwoModeRouting(graph, delta=0.2, metric=metric, strict_goodness=strict)
@@ -191,7 +190,7 @@ def test_goodness_ablation(benchmark):
 
 def test_y_ball_factor_ablation(benchmark):
     """Theorem 3.2's Y-ball constant 12/δ vs smaller factors."""
-    metric = exponential_line(96, base=1.6)
+    metric = api.build_workload("expline", n=96, base=1.6).metric
     rows = []
     for factor in (12.0, 6.0, 3.0, 1.5):
         scales = ScaleStructure(metric, delta=0.4, y_ball_factor=factor)

@@ -20,13 +20,9 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_table
+from repro import api
 from repro.labeling import RingDLS, RingTriangulation, ThorupZwickOracle, TriangulationDLS
-from repro.metrics import (
-    exponential_line,
-    label_entropy_bits,
-    random_hypercube_metric,
-    scale_coded_metric,
-)
+from repro.metrics import label_entropy_bits, scale_coded_metric
 from repro.smallworld import (
     GreedyRingsModel,
     KleinbergGridModel,
@@ -37,8 +33,9 @@ from repro.smallworld import (
 
 
 def test_thorup_zwick_vs_ring_schemes(benchmark):
-    metric = random_hypercube_metric(96, dim=2, seed=140)
-    tri = RingTriangulation(metric, delta=0.4)
+    workload = api.build_workload("hypercube", n=96, dim=2, seed=140)
+    metric = workload.metric
+    tri = RingTriangulation(metric, delta=0.4, scales=workload.scales(0.4))
     schemes = {
         "TZ k=2 (stretch<=3)": ThorupZwickOracle(metric, k=2, seed=0),
         "TZ k=3 (stretch<=5)": ThorupZwickOracle(metric, k=3, seed=0),
@@ -70,7 +67,7 @@ def test_thorup_zwick_vs_ring_schemes(benchmark):
 
 
 def test_lookahead_vs_greedy(benchmark):
-    metric = exponential_line(96, base=1.7)
+    metric = api.build_workload("expline", n=96, base=1.7).metric
     model = GreedyRingsModel(metric, c=0.5, alpha_factor=0.5)  # sparse contacts
     graph = model.sample_contacts(seed=1)
     pairs = [(s, t) for s in range(0, 96, 5) for t in range(2, 96, 9) if s != t]

@@ -26,13 +26,13 @@ from repro.distributed import (
     SynchronousNetwork,
     ring_coverage,
 )
+from repro import api
 from repro.meridian import MeridianOverlay
-from repro.metrics import internet_like_metric, random_hypercube_metric
 from repro.metrics.nets import greedy_net, is_r_net
 
 
 def test_distributed_net_cost(benchmark):
-    metric = random_hypercube_metric(64, dim=2, seed=130)
+    metric = api.build_workload("hypercube", n=64, dim=2, seed=130).metric
     rows = []
     for r in (0.4, 0.2, 0.1):
         proto = DistributedNetProtocol(r=r)
@@ -67,7 +67,7 @@ def test_distributed_net_cost(benchmark):
 
 
 def test_gossip_coverage_gap(benchmark):
-    metric = random_hypercube_metric(56, dim=2, seed=131)
+    metric = api.build_workload("hypercube", n=56, dim=2, seed=131).metric
     rows = []
     for rounds in (1, 3, 6, 12, 24):
         proto = GossipRingProtocol(
@@ -103,7 +103,7 @@ def test_gossip_coverage_gap(benchmark):
 
 
 def test_churn_quality(benchmark):
-    metric = internet_like_metric(72, seed=132)
+    metric = api.build_workload("internet", n=72, seed=132).metric
     rows = []
     runs = {}
     for name, repair in (("no repair", 0), ("repair 6 probes/epoch", 6)):

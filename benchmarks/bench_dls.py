@@ -16,9 +16,8 @@ import math
 import pytest
 
 from benchmarks.conftest import record_table
+from repro import api
 from repro.labeling import RingDLS, RingTriangulation, TriangulationDLS
-from repro.labeling._scales import ScaleStructure
-from repro.metrics import exponential_line
 
 DELTA = 0.4
 
@@ -27,8 +26,9 @@ DELTA = 0.4
 def built():
     out = {}
     for n in (32, 64, 128):
-        metric = exponential_line(n, base=1.8)
-        scales = ScaleStructure(metric, delta=DELTA)
+        workload = api.build_workload("expline", n=n, base=1.8)
+        metric = workload.metric
+        scales = workload.scales(DELTA)
         tri_dls = TriangulationDLS(RingTriangulation(metric, DELTA, scales=scales))
         ring_dls = RingDLS(metric, DELTA, scales=scales)
         out[n] = (metric, tri_dls, ring_dls)

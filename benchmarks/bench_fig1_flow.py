@@ -44,15 +44,14 @@ def test_fig1_diagram_and_arrows(benchmark, results_dir):
     print("\n" + text)
 
     # Executable arrows on one tiny shared workload.
-    from repro.graphs import knn_geometric_graph
+    from repro import api
     from repro.labeling import RingDLS, RingTriangulation
     from repro.labeling._scales import ScaleStructure
-    from repro.metrics.graphmetric import ShortestPathMetric
     from repro.routing import LabelRouting, RingRouting, TwoModeRouting
     from repro.smallworld import GreedyRingsModel, PrunedRingsModel, evaluate_model
 
-    graph = knn_geometric_graph(40, k=4, seed=60)
-    metric = ShortestPathMetric(graph)
+    workload = api.build_workload("knn-graph", n=40, k=4, seed=60)
+    graph, metric = workload.graph, workload.metric
 
     def build_all():
         scales = ScaleStructure(metric, delta=0.3)  # rings of neighbors

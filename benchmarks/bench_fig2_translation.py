@@ -15,13 +15,14 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import knn_geometric_graph
+from repro import api
 from repro.routing import RingRouting
 
 
 @pytest.fixture(scope="module")
 def scheme():
-    return RingRouting(knn_geometric_graph(56, k=4, seed=70), delta=0.3)
+    workload = api.build_workload("knn-graph", n=56, k=4, seed=70)
+    return RingRouting(workload.graph, delta=0.3, metric=workload.metric)
 
 
 def test_fig2_translation_triangles(benchmark, scheme, results_dir):

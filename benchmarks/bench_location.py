@@ -12,21 +12,22 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_table
+from repro import api
 from repro.location import RingObjectLocation
-from repro.metrics import exponential_line, random_hypercube_metric
+from repro.rng import ensure_rng
 
 
 def test_location_stretch(benchmark):
     rows = []
     directories = {}
     for name, metric in (
-        ("hypercube(64)", random_hypercube_metric(64, dim=2, seed=150)),
-        ("hypercube(144)", random_hypercube_metric(144, dim=2, seed=151)),
-        ("expline(64)", exponential_line(64)),
+        ("hypercube(64)", api.build_workload("hypercube", n=64, dim=2, seed=150).metric),
+        ("hypercube(144)", api.build_workload("hypercube", n=144, dim=2, seed=151).metric),
+        ("expline(64)", api.build_workload("expline", n=64).metric),
     ):
         directory = RingObjectLocation(metric)
         directories[name] = directory
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         owners = [int(x) for x in rng.integers(0, metric.n, size=10)]
         pointer_counts = [
             directory.publish(f"obj-{i}", owner) for i, owner in enumerate(owners)

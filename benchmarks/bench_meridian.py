@@ -11,17 +11,18 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_table
+from repro import api
 from repro.meridian import MeridianOverlay, closest_node_search
-from repro.metrics import internet_like_metric
+from repro.rng import ensure_rng
 
 
 @pytest.fixture(scope="module")
 def metric():
-    return internet_like_metric(160, seed=110)
+    return api.build_workload("internet", n=160, seed=110).metric
 
 
 def test_quality_vs_ring_capacity(benchmark, metric):
-    rng = np.random.default_rng(3)
+    rng = ensure_rng(3)
     queries = [
         (int(s), int(t))
         for s, t in rng.integers(0, metric.n, size=(120, 2))

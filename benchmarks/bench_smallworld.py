@@ -17,9 +17,7 @@ import math
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import grid_graph
-from repro.metrics import exponential_line
-from repro.metrics.graphmetric import ShortestPathMetric
+from repro import api
 from repro.metrics.measure import doubling_measure
 from repro.smallworld import (
     GreedyRingsModel,
@@ -58,8 +56,8 @@ class YOnlyModel(SmallWorldModel):
 def test_hops_vs_n_exponential_line(benchmark):
     rows = []
     for n in (48, 96, 192):
-        metric = exponential_line(n, base=1.7)
-        mu = doubling_measure(metric)
+        workload = api.build_workload("expline", n=n, base=1.7)
+        metric, mu = workload.metric, workload.measure()
         for name, model in (
             ("Y-only walker", YOnlyModel(metric)),
             ("Thm 5.2(a)", GreedyRingsModel(metric, c=1.5, mu=mu)),
@@ -77,7 +75,7 @@ def test_hops_vs_n_exponential_line(benchmark):
                     f"{math.log2(metric.aspect_ratio()):.0f}",
                 )
             )
-    model = GreedyRingsModel(exponential_line(48, base=1.7), c=1.5)
+    model = GreedyRingsModel(api.build_workload("expline", n=48, base=1.7).metric, c=1.5)
     graph = model.sample_contacts(seed=0)
     from repro.smallworld import route_query
 
@@ -101,8 +99,8 @@ def test_hops_vs_n_exponential_line(benchmark):
 def test_theorem55_grid(benchmark):
     rows = []
     for side in (6, 10, 14):
-        graph = grid_graph(side)
-        metric = ShortestPathMetric(graph)
+        workload = api.build_workload("grid-graph", n=side * side)
+        graph, metric = workload.graph, workload.metric
         model = SingleLinkModel(metric, graph)
         stats = evaluate_model(model, sample_queries=250, seed=6)
         log_delta = math.log2(metric.aspect_ratio())
@@ -118,8 +116,8 @@ def test_theorem55_grid(benchmark):
         )
         assert stats.completion_rate == 1.0
         assert stats.max_hops <= 10 * log_delta**2
-    graph = grid_graph(8)
-    metric = ShortestPathMetric(graph)
+    workload = api.build_workload("grid-graph", n=64)
+    graph, metric = workload.graph, workload.metric
     model = SingleLinkModel(metric, graph)
     contact_graph = model.sample_contacts(seed=1)
     from repro.smallworld import route_query

@@ -10,8 +10,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import knn_geometric_graph
-from repro.metrics.graphmetric import ShortestPathMetric
+from repro import api
 from repro.routing import RingRouting, evaluate_scheme
 
 DELTAS = (0.45, 0.3, 0.2, 0.1, 0.05)
@@ -19,8 +18,8 @@ DELTAS = (0.45, 0.3, 0.2, 0.1, 0.05)
 
 @pytest.fixture(scope="module")
 def workload():
-    graph = knn_geometric_graph(96, k=4, seed=80)
-    return graph, ShortestPathMetric(graph)
+    instance = api.build_workload("knn-graph", n=96, k=4, seed=80)
+    return instance.graph, instance.metric
 
 
 def test_stretch_vs_delta(benchmark, workload):

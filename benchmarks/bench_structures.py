@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.metrics import uniform_line
+from repro import api
 from repro.smallworld import (
     GreedyRingsModel,
     GroupStructuresModel,
@@ -26,7 +26,7 @@ from repro.smallworld import (
 
 @pytest.fixture(scope="module")
 def metric():
-    return uniform_line(128)
+    return api.build_workload("uline", n=128).metric
 
 
 def test_properties_a_b_c(benchmark, metric):

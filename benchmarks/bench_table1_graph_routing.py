@@ -17,8 +17,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import knn_geometric_graph
-from repro.metrics.graphmetric import ShortestPathMetric
+from repro import api
 from repro.routing import LabelRouting, RingRouting, TrivialRouting, evaluate_scheme
 
 DELTA = 0.25
@@ -26,8 +25,8 @@ SIZES = (48, 96, 160)
 
 
 def _workload(n: int):
-    graph = knn_geometric_graph(n, k=4, seed=300 + n)
-    return graph, ShortestPathMetric(graph)
+    workload = api.build_workload("knn-graph", n=n, k=4, seed=300 + n)
+    return workload.graph, workload.metric
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.metrics import exponential_line, random_hypercube_metric
+from repro import api
 from repro.routing import MetricRouting, RingRouting, evaluate_scheme
 from repro.routing.label_scheme import LabelRouting
 from repro.routing.twomode import TwoModeRouting
@@ -23,8 +23,8 @@ DELTA = 0.25
 @pytest.fixture(scope="module")
 def workloads():
     return {
-        "hypercube(96)": random_hypercube_metric(96, dim=2, seed=41),
-        "expline(64)": exponential_line(64),
+        "hypercube(96)": api.build_workload("hypercube", n=96, dim=2, seed=41).metric,
+        "expline(64)": api.build_workload("expline", n=64).metric,
     }
 
 

@@ -11,24 +11,22 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.graphs import WeightedGraph, knn_geometric_graph
+from repro import api
 from repro.routing import TwoModeRouting, evaluate_scheme
 
 DELTA = 0.2
 
 
-def _gap_graph(n: int) -> WeightedGraph:
-    g = WeightedGraph(n)
-    for i in range(n - 1):
-        g.add_edge(i, i + 1, 2.0**i)
-    return g
+def _twomode(workload_name: str, n: int, **params) -> TwoModeRouting:
+    workload = api.build_workload(workload_name, n=n, **params)
+    return TwoModeRouting(workload.graph, delta=DELTA, metric=workload.metric)
 
 
 @pytest.fixture(scope="module")
 def schemes():
     return {
-        "knn(64)": TwoModeRouting(knn_geometric_graph(64, k=4, seed=50), delta=DELTA),
-        "gap-path(40)": TwoModeRouting(_gap_graph(40), delta=DELTA),
+        "knn(64)": _twomode("knn-graph", 64, k=4, seed=50),
+        "gap-path(40)": _twomode("gap-path", 40),
     }
 
 

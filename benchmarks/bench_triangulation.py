@@ -16,8 +16,8 @@ import math
 import pytest
 
 from benchmarks.conftest import record_table
+from repro import api
 from repro.labeling import BeaconTriangulation, RingTriangulation
-from repro.metrics import exponential_line, random_hypercube_metric
 
 DELTA = 0.4
 
@@ -26,7 +26,7 @@ def test_order_vs_n(benchmark):
     rows = []
     tris = {}
     for n in (24, 48, 96, 192):
-        metric = exponential_line(n, base=1.6)
+        metric = api.build_workload("expline", n=n, base=1.6).metric
         tri = RingTriangulation(metric, delta=DELTA)
         tris[n] = tri
         worst = tri.worst_ratio()
@@ -54,7 +54,7 @@ def test_order_vs_n(benchmark):
 
 
 def test_order_vs_delta(benchmark):
-    metric = exponential_line(64, base=1.6)
+    metric = api.build_workload("expline", n=64, base=1.6).metric
     rows = []
     for delta in (0.45, 0.3, 0.2, 0.1):
         tri = RingTriangulation(metric, delta=delta)
@@ -73,7 +73,7 @@ def test_order_vs_delta(benchmark):
 
 def test_zero_eps_vs_beacon_baseline(benchmark):
     """The paper's motivation: same order, but ε = 0."""
-    metric = random_hypercube_metric(96, dim=2, seed=90)
+    metric = api.build_workload("hypercube", n=96, dim=2, seed=90).metric
     tri = RingTriangulation(metric, delta=DELTA)
     baseline = BeaconTriangulation(metric, k=min(tri.order, 96), seed=0)
     delta_test = 2 * DELTA

@@ -4,49 +4,44 @@
 Compares the three schemes of the paper plus the trivial baseline on a
 k-nearest-neighbor geometric graph (a standard doubling-graph stand-in
 for road/AS topologies): delivery, stretch, and the storage split the
-paper's Tables 1 and 3 are about.
+paper's Tables 1 and 3 are about.  All four builds go through the
+facade and share one cached workload.
 
 Run:  python examples/compact_routing.py
 """
 
 from __future__ import annotations
 
-from repro.graphs import knn_geometric_graph
-from repro.metrics.graphmetric import ShortestPathMetric
-from repro.routing import (
-    LabelRouting,
-    RingRouting,
-    TrivialRouting,
-    TwoModeRouting,
-    evaluate_scheme,
-)
+from repro import api
 
 
 def main() -> None:
     n, delta = 150, 0.25
-    graph = knn_geometric_graph(n, k=4, seed=21)
-    metric = ShortestPathMetric(graph)
+    workload = api.build_workload("knn-graph", n=n, k=4, seed=21)
+    graph, metric = workload.graph, workload.metric
     print(f"graph: n={n}, m={graph.m}, Dout={graph.max_out_degree()}, "
           f"Δ={metric.aspect_ratio():.1f}\n")
 
     schemes = [
-        ("trivial (stretch 1)", TrivialRouting(graph)),
-        ("Thm 2.1 rings", RingRouting(graph, delta=delta, metric=metric)),
-        ("Thm 4.1 labels", LabelRouting(graph, delta=delta,
-                                        estimator="triangulation", metric=metric)),
-        ("Thm 4.2 two-mode", TwoModeRouting(graph, delta=delta, metric=metric)),
+        ("trivial (stretch 1)", "route-trivial"),
+        ("Thm 2.1 rings", "route-thm2.1"),
+        ("Thm 4.1 labels", "route-thm4.1"),
+        ("Thm 4.2 two-mode", "route-thm4.2"),
     ]
 
     print(f"{'scheme':<22s} {'delivery':>8s} {'max stretch':>12s} "
           f"{'table bits':>12s} {'header bits':>12s}")
-    for name, scheme in schemes:
-        stats = evaluate_scheme(scheme, metric.matrix, sample_pairs=600, seed=2)
-        print(f"{name:<22s} {stats.delivery_rate:8.1%} "
-              f"{stats.max_stretch:12.4f} {stats.max_table_bits:12,d} "
-              f"{stats.max_header_bits:12,d}")
+    fitted = {}
+    for name, key in schemes:
+        scheme = api.build(key, workload=workload, delta=delta)
+        fitted[key] = scheme
+        stats = scheme.stats(samples=600, seed=2)
+        print(f"{name:<22s} {stats['delivery_rate']:8.1%} "
+              f"{stats['max_stretch']:12.4f} {stats['max_table_bits']:12,d} "
+              f"{stats['max_header_bits']:12,d}")
 
     print("\nTheorem 4.2 storage split (mode M1 vs M2, Table 3's shape):")
-    twomode = schemes[3][1]
+    twomode = fitted["route-thm4.2"].inner
     account = twomode.table_bits(0)
     m1 = sum(bits for k, bits in account.components.items() if k.startswith("m1_"))
     m2 = sum(bits for k, bits in account.components.items() if k.startswith("m2_"))

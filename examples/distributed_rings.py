@@ -21,13 +21,13 @@ from repro.distributed import (
     SynchronousNetwork,
     ring_coverage,
 )
+from repro import api
 from repro.meridian import MeridianOverlay
-from repro.metrics import internet_like_metric, random_hypercube_metric
 from repro.metrics.nets import greedy_net, is_r_net
 
 
 def main() -> None:
-    metric = random_hypercube_metric(64, dim=2, seed=17)
+    metric = api.build_workload("hypercube", n=64, dim=2, seed=17).metric
 
     print("=== 1. distributed r-net (r = 0.2) ===")
     proto = DistributedNetProtocol(r=0.2)
@@ -53,7 +53,7 @@ def main() -> None:
     print("  -> recall plateaus below 1.0: the paper's Section-6 coverage gap.")
 
     print("\n=== 3. Meridian overlay under 15% churn per epoch ===")
-    latency = internet_like_metric(72, seed=18)
+    latency = api.build_workload("internet", n=72, seed=18).metric
     for label, repair in (("no repair", 0), ("6 repair probes/epoch", 6)):
         sim = ChurnSimulation(latency, MeridianOverlay(latency, seed=3),
                               churn_rate=0.15, repair_probes=repair, seed=4)

@@ -19,17 +19,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.labeling import BeaconTriangulation, RingTriangulation
-from repro.metrics import internet_like_metric
+from repro import api
 
 
 def main() -> None:
-    metric = internet_like_metric(160, seed=5)
+    workload = api.build_workload("internet", n=160, seed=5)
+    metric = workload.metric
     delta = 0.3
     print(f"simulated latency matrix: n={metric.n}, "
           f"Δ={metric.aspect_ratio():.0f}\n")
 
-    ring = RingTriangulation(metric, delta=delta)
+    ring = api.build("triangulation", workload=workload, delta=delta).inner
     print(f"Theorem 3.2 rings triangulation: order {ring.order}")
     print(f"  pairs with D+/D- > {1 + 2 * delta:.2f}: "
           f"{sum(1 for u, v in metric.pairs() if ring.bounds(u, v)[1] / max(ring.bounds(u, v)[0], 1e-12) > 1 + 2 * delta)}"
@@ -42,7 +42,8 @@ def main() -> None:
           f"worst {max(errors):.2%}")
 
     for k in (8, 16, ring.order):
-        beacon = BeaconTriangulation(metric, k=k, seed=1)
+        beacon = api.build("beacons", workload=workload, seed=1,
+                           config={"beacons": k}).inner
         eps = beacon.epsilon_for_delta(2 * delta)
         errors = [
             beacon.estimate(u, v) / metric.distance(u, v) - 1.0

@@ -15,29 +15,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.meridian import MeridianOverlay, closest_node_search
-from repro.metrics import internet_like_metric
+from repro import api
+from repro.meridian import closest_node_search
+from repro.rng import ensure_rng
 
 
 def main() -> None:
-    metric = internet_like_metric(200, seed=31)
-    rng = np.random.default_rng(0)
+    workload = api.build_workload("internet", n=200, seed=31)
+    metric = workload.metric
+    rng = ensure_rng(0)
     queries = [(int(s), int(t)) for s, t in rng.integers(0, 200, size=(150, 2)) if s != t]
 
     print(f"latency metric: n={metric.n}, Δ={metric.aspect_ratio():.0f}\n")
     print(f"{'nodes/ring':>10s} {'beta':>6s} {'mean approx':>12s} "
           f"{'p95 approx':>11s} {'mean hops':>10s} {'max degree':>11s}")
     for nodes_per_ring in (2, 4, 8, 16):
+        # beta only affects query-time search, so one overlay serves both.
+        scheme = api.build("meridian", workload=workload, seed=1,
+                           nodes_per_ring=nodes_per_ring)
         for beta in (0.5, 0.8):
-            overlay = MeridianOverlay(metric, nodes_per_ring=nodes_per_ring, seed=1)
             approx, hops = [], []
             for start, target in queries:
-                result = closest_node_search(overlay, start, target, beta=beta)
+                result = closest_node_search(scheme.inner, start, target,
+                                             beta=beta)
                 approx.append(result.approximation)
                 hops.append(result.hops)
             print(f"{nodes_per_ring:>10d} {beta:>6.2f} "
                   f"{np.mean(approx):>12.3f} {np.quantile(approx, 0.95):>11.3f} "
-                  f"{np.mean(hops):>10.2f} {overlay.max_out_degree():>11d}")
+                  f"{np.mean(hops):>10.2f} {scheme.inner.max_out_degree():>11d}")
 
     print("\n=> bigger rings and a laxer β give near-exact discovery; "
           "even 4 nodes/ring lands within a few percent of optimal, "

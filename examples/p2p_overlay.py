@@ -21,13 +21,8 @@ import math
 
 import numpy as np
 
-from repro.metrics import exponential_line
-from repro.smallworld import (
-    ContactGraph,
-    GreedyRingsModel,
-    PrunedRingsModel,
-    evaluate_model,
-)
+from repro import api
+from repro.smallworld import ContactGraph, evaluate_model
 from repro.smallworld.base import SmallWorldModel
 from repro.rng import ensure_rng
 
@@ -50,27 +45,31 @@ class UniformContactsModel(SmallWorldModel):
 
 
 def report(name: str, stats) -> None:
-    print(f"  {name:<28s} completion {stats.completion_rate:6.1%}   "
-          f"max hops {stats.max_hops:4d}   mean {stats.mean_hops:6.1f}   "
-          f"degree {stats.max_out_degree:4d}")
+    """Accepts either a facade stats dict or a SmallWorldStats object."""
+    if not isinstance(stats, dict):
+        stats = {key: getattr(stats, key) for key in
+                 ("completion_rate", "max_hops", "mean_hops", "max_out_degree")}
+    print(f"  {name:<28s} completion {stats['completion_rate']:6.1%}   "
+          f"max hops {stats['max_hops']:4d}   mean {stats['mean_hops']:6.1f}   "
+          f"degree {stats['max_out_degree']:4d}")
 
 
 def main() -> None:
     n = 192
-    metric = exponential_line(n, base=1.7)
+    workload = api.build_workload("expline", n=n, base=1.7)
+    metric = workload.metric
     log_delta = math.log2(metric.aspect_ratio())
     print(f"latency metric: exponential line, n={n}, "
           f"log2 Δ = {log_delta:.0f}, log2 n = {math.log2(n):.1f}\n")
 
-    models = [
-        ("uniform contacts (k=24)", UniformContactsModel(metric, k=24)),
-        ("Thm 5.2(a) greedy rings", GreedyRingsModel(metric, c=1.5)),
-        ("Thm 5.2(b) pruned + (**)", PrunedRingsModel(metric, c=1.5)),
-    ]
     print("routing 500 random queries per model:")
-    for name, model in models:
-        stats = evaluate_model(model, sample_queries=500, seed=3)
-        report(name, stats)
+    report("uniform contacts (k=24)",
+           evaluate_model(UniformContactsModel(metric, k=24),
+                          sample_queries=500, seed=3))
+    for name, key in (("Thm 5.2(a) greedy rings", "sw-5.2a"),
+                      ("Thm 5.2(b) pruned + (**)", "sw-5.2b")):
+        fitted = api.build(key, workload=workload, seed=3, c=1.5)
+        report(name, fitted.stats(samples=500, seed=3))
 
     print("\nTheorem 5.5 needs a local-contact graph; use a nearest-"
           "neighbor chain:")
@@ -81,8 +80,8 @@ def main() -> None:
     for i in range(n - 1):
         chain.add_edge(i, i + 1, metric.distance(i, i + 1))
     single = SingleLinkModel(metric, chain)
-    stats = evaluate_model(single, sample_queries=300, seed=4)
-    report("Thm 5.5 single long link", stats)
+    report("Thm 5.5 single long link",
+           evaluate_model(single, sample_queries=300, seed=4))
     print(f"\n  (5.5's bound is 2^O(α) log² Δ ≈ {log_delta ** 2:.0f} hops — "
           "cheap per node, slow per query;\n   the ring models trade degree "
           "for O(log n)-hop queries.)")

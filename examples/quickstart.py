@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
-"""Quickstart: the four problems of the paper on one small metric.
+"""Quickstart: the four problems of the paper through the unified facade.
 
-Builds a 128-point doubling metric and runs, in order:
+One call builds any registered scheme on any registered workload:
+
+    repro.api.build("<scheme>", workload="<workload>", n=..., seed=...)
+
+The facade memoizes the workload per (name, n, seed, params), so the
+four builds below generate the 128-point metric once and share its
+scale structures.  Runs, in order:
 
 1. Theorem 3.2 — (0,δ)-triangulation: estimate a distance from labels.
 2. Theorem 3.4 — id-free distance labels, with the bit count.
@@ -15,49 +21,51 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs import knn_geometric_graph
-from repro.labeling import RingDLS, RingTriangulation
-from repro.metrics import doubling_dimension, random_hypercube_metric
-from repro.metrics.graphmetric import ShortestPathMetric
-from repro.routing import RingRouting, evaluate_scheme
-from repro.smallworld import GreedyRingsModel, evaluate_model
+from repro import api
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
-    metric = random_hypercube_metric(128, dim=2, seed=7)
+    from repro.metrics import doubling_dimension
+
+    workload = api.build_workload("hypercube", n=128, dim=2, seed=7)
+    metric = workload.metric
     print(f"metric: n={metric.n}, aspect ratio Δ={metric.aspect_ratio():.1f}, "
           f"doubling dim ≈ {doubling_dimension(metric, sample_centers=24):.2f}")
 
     # -- 1. Triangulation (Theorem 3.2) --------------------------------
-    tri = RingTriangulation(metric, delta=0.25)
+    tri = api.build("triangulation", workload=workload, delta=0.25)
     u, v = 3, 99
     d = metric.distance(u, v)
-    print(f"\n[Thm 3.2] triangulation order={tri.order}")
-    print(f"  d({u},{v}) = {d:.4f}, estimate D+ = {tri.estimate(u, v):.4f} "
-          f"(certified ratio ≤ {tri.certified_ratio_bound():.2f})")
+    print(f"\n[Thm 3.2] triangulation order={tri.inner.order}")
+    print(f"  d({u},{v}) = {d:.4f}, estimate D+ = {tri.query(u, v):.4f} "
+          f"(certified ratio ≤ {tri.inner.certified_ratio_bound():.2f})")
 
     # -- 2. Distance labeling (Theorem 3.4) ----------------------------
-    dls = RingDLS(metric, delta=0.25, scales=tri.scales)
-    print(f"\n[Thm 3.4] id-free labels, max {dls.max_label_bits():,} bits")
-    print(f"  estimate from labels alone: {dls.estimate(u, v):.4f}")
+    # Shares the workload's ScaleStructure with the triangulation above.
+    dls = api.build("labels", workload=workload, delta=0.25)
+    print(f"\n[Thm 3.4] id-free labels, max {dls.inner.max_label_bits():,} bits")
+    print(f"  estimate from labels alone: {dls.query(u, v):.4f}")
 
     # -- 3. Compact routing (Theorem 2.1) ------------------------------
-    graph = knn_geometric_graph(128, k=4, seed=7)
-    sp_metric = ShortestPathMetric(graph)
-    scheme = RingRouting(graph, delta=0.25, metric=sp_metric)
-    stats = evaluate_scheme(scheme, sp_metric.matrix, sample_pairs=400, seed=1)
-    print(f"\n[Thm 2.1] routing: delivery {stats.delivery_rate:.0%}, "
-          f"max stretch {stats.max_stretch:.3f}, "
-          f"header ≤ {stats.max_header_bits} bits, "
-          f"table ≤ {stats.max_table_bits:,} bits")
+    route = api.build("route-thm2.1", workload="knn-graph", n=128, seed=7,
+                      delta=0.25)
+    stats = route.stats(samples=400, seed=1)
+    print(f"\n[Thm 2.1] routing: delivery {stats['delivery_rate']:.0%}, "
+          f"max stretch {stats['max_stretch']:.3f}, "
+          f"header ≤ {stats['max_header_bits']} bits, "
+          f"table ≤ {stats['max_table_bits']:,} bits")
 
     # -- 4. Small world (Theorem 5.2a) ----------------------------------
-    model = GreedyRingsModel(metric, c=2)
-    sw = evaluate_model(model, sample_queries=400, seed=rng)
-    print(f"\n[Thm 5.2a] small world: completion {sw.completion_rate:.0%}, "
-          f"max hops {sw.max_hops} (log2 n = {np.log2(metric.n):.0f}), "
-          f"out-degree ≤ {sw.max_out_degree}")
+    sw = api.build("sw-5.2a", workload=workload, seed=0, c=2)
+    sw_stats = sw.stats(samples=400, seed=0)
+    print(f"\n[Thm 5.2a] small world: completion {sw_stats['completion_rate']:.0%}, "
+          f"max hops {sw_stats['max_hops']} (log2 n = {np.log2(metric.n):.0f}), "
+          f"out-degree ≤ {sw_stats['max_out_degree']}")
+
+    print(f"\n(the triangulation, labels and small world all shared one "
+          f"generated workload; `python -m repro list` shows all "
+          f"{len(api.scheme_names())} schemes x "
+          f"{len(api.workload_names())} workloads)")
 
 
 if __name__ == "__main__":

@@ -5,16 +5,30 @@ Object Location via Rings of Neighbors" (PODC 2005; full version 2006)**:
 four node-labeling problems on doubling metrics solved with one sparse
 distributed data structure.
 
-Quickstart::
+Quickstart — everything is reachable through the unified facade::
 
-    from repro import metrics, labeling
+    from repro import api
 
-    metric = metrics.random_hypercube_metric(128, dim=2, seed=0)
-    tri = labeling.RingTriangulation(metric, delta=0.25)
-    estimate = tri.estimate(3, 77)          # (1+O(delta))-approximation
+    scheme = api.build("triangulation", workload="hypercube", n=128,
+                       seed=0, delta=0.25)
+    estimate = scheme.query(3, 77)      # (1+O(delta))-approximation
+    scheme.stats()                      # the paper's quality numbers
+    scheme.size_account().describe()    # bit-level storage breakdown
+
+    api.workload_names()                # registered workload generators
+    api.scheme_names()                  # registered schemes
+
+Workloads and schemes are string-keyed registries
+(:mod:`repro.api.registry`); builds on the same (workload, seed) share
+one cached metric and its scale structures.  The underlying
+constructions remain importable directly (e.g.
+``repro.labeling.RingTriangulation``) for fine-grained control.
 
 Subpackages
 -----------
+``repro.api``
+    The unified build/query facade: registries, workload specs,
+    per-scheme configs, and the memoized build cache.
 ``repro.metrics``
     Finite metric spaces, synthetic workloads, r-nets, doubling measures,
     (ε,µ)-packings, dimension estimators.
@@ -49,9 +63,13 @@ from repro import (
 from repro.bits import SizeAccount, bits_for_count
 from repro.rng import ensure_rng
 
+# The facade imports the subpackages above, so it comes last.
+from repro import api
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "distributed",
     "graphs",

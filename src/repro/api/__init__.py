@@ -1,0 +1,87 @@
+"""repro.api — the unified build/query surface over the whole library.
+
+The paper solves four node-labeling problems with one structure (rings
+of neighbors); this package gives them one API:
+
+>>> from repro import api
+>>> scheme = api.build("triangulation", workload="hypercube", n=128)
+>>> scheme.query(3, 77)
+>>> scheme.stats()
+>>> scheme.size_account().describe()
+
+Pieces
+------
+* :mod:`~repro.api.registry` — string-keyed registries of workloads and
+  schemes (``api.workload_names()``, ``api.scheme_names()``);
+* :mod:`~repro.api.workloads` — :class:`Workload` specs and the
+  registered generators; realized instances share scale structures and
+  doubling measures across schemes;
+* :mod:`~repro.api.configs` — frozen, validating per-scheme configs
+  with dict round-tripping for CLI/JSON use;
+* :mod:`~repro.api.schemes` — adapters giving every construction the
+  uniform ``build`` / ``query`` / ``stats`` / ``size_account`` surface;
+* :mod:`~repro.api.facade` — ``build()`` / ``build_workload()`` with a
+  memoized per-(workload, seed) cache.
+"""
+
+from repro.api.registry import (
+    SCHEMES,
+    WORKLOADS,
+    Registry,
+    register_scheme,
+    register_workload,
+    scheme_names,
+    workload_names,
+)
+from repro.api.configs import (
+    BeaconsConfig,
+    DLSConfig,
+    MeridianConfig,
+    OracleConfig,
+    RoutingConfig,
+    SchemeConfig,
+    SmallWorldConfig,
+    TriangulationConfig,
+)
+from repro.api.workloads import Workload, WorkloadInstance
+from repro.api.schemes import FittedScheme, Scheme
+from repro.api.facade import (
+    BuildCache,
+    build,
+    build_workload,
+    cache_info,
+    clear_cache,
+    describe,
+    list_schemes,
+    list_workloads,
+)
+
+__all__ = [
+    "SCHEMES",
+    "WORKLOADS",
+    "Registry",
+    "register_scheme",
+    "register_workload",
+    "scheme_names",
+    "workload_names",
+    "SchemeConfig",
+    "TriangulationConfig",
+    "BeaconsConfig",
+    "DLSConfig",
+    "OracleConfig",
+    "RoutingConfig",
+    "SmallWorldConfig",
+    "MeridianConfig",
+    "Workload",
+    "WorkloadInstance",
+    "Scheme",
+    "FittedScheme",
+    "BuildCache",
+    "build",
+    "build_workload",
+    "cache_info",
+    "clear_cache",
+    "describe",
+    "list_schemes",
+    "list_workloads",
+]

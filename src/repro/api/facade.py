@@ -1,0 +1,214 @@
+"""The build facade: one entry point for every workload and scheme.
+
+>>> from repro import api
+>>> tri = api.build("triangulation", workload="hypercube", n=128, delta=0.25)
+>>> tri.query(3, 77)            # (1+O(delta))-approximate distance
+>>> tri.stats()                 # the paper's quality/size numbers
+>>> tri.size_account()          # bit-level storage breakdown
+
+Builds are memoized: a :class:`BuildCache` keys realized workloads by
+their :class:`~repro.api.workloads.Workload` spec (name, n, seed,
+params), so the CLI or a benchmark that runs several schemes on one
+instance generates the metric once and shares the lazily-built scale
+structures through the common :class:`WorkloadInstance`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.rng import SeedLike
+
+from repro.api.registry import SCHEMES, WORKLOADS
+from repro.api.schemes import FittedScheme
+from repro.api.workloads import Workload, WorkloadInstance, realize
+
+WorkloadLike = Union[str, Workload, WorkloadInstance]
+
+
+class BuildCache:
+    """LRU-memoizes realized workloads per (name, n, seed, params) spec.
+
+    Bounded because every entry pins an O(n²) distance matrix (plus any
+    lazily-built scale structures) for as long as it stays cached.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._instances: "OrderedDict[Workload, WorkloadInstance]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def instance(self, spec: Workload) -> WorkloadInstance:
+        try:
+            hash(spec)
+        except TypeError:
+            # Unhashable seed (e.g. a live Generator): build uncached.
+            return realize(spec)
+        if spec in self._instances:
+            self.hits += 1
+            self._instances.move_to_end(spec)
+            return self._instances[spec]
+        self.misses += 1
+        built = realize(spec)
+        self._instances[spec] = built
+        while len(self._instances) > self.maxsize:
+            self._instances.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        self._instances.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._instances),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: The process-wide default cache (cleared with :func:`clear_cache`).
+_DEFAULT_CACHE = BuildCache()
+
+
+def clear_cache() -> None:
+    """Drop all memoized workload instances."""
+    _DEFAULT_CACHE.clear()
+
+
+def cache_info() -> Dict[str, int]:
+    """Entries/hits/misses of the default build cache."""
+    return _DEFAULT_CACHE.info()
+
+
+def build_workload(
+    workload: WorkloadLike = "hypercube",
+    n: Optional[int] = None,
+    seed: Optional[SeedLike] = 0,
+    *,
+    cache: Optional[BuildCache] = None,
+    **params: Any,
+) -> WorkloadInstance:
+    """Realize a workload by name (memoized) or pass an instance through.
+
+    ``build_workload("expline", n=64, base=1.7)`` builds (or fetches) the
+    64-point exponential line; deterministic generators ignore ``seed``.
+    """
+    if isinstance(workload, WorkloadInstance):
+        if n is not None or params:
+            raise ValueError(
+                "cannot override n/params of an already-built WorkloadInstance"
+            )
+        return workload
+    if isinstance(workload, Workload):
+        if n is not None or params:
+            raise ValueError("pass parameters via Workload.make, not both")
+        spec = workload
+    else:
+        spec = Workload.make(workload, n=96 if n is None else n, seed=seed, **params)
+    return (cache or _DEFAULT_CACHE).instance(spec)
+
+
+def _split_params(
+    scheme_cls, workload_name: Optional[str], params: Mapping[str, Any]
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Split loose kwargs into (workload params, config params)."""
+    config_fields = scheme_cls.config_cls.field_names()
+    workload_fields: frozenset = frozenset()
+    if workload_name is not None:
+        workload_fields = frozenset(WORKLOADS.get(workload_name).meta["defaults"])
+    wl: Dict[str, Any] = {}
+    cfg: Dict[str, Any] = {}
+    for key, value in params.items():
+        in_cfg = key in config_fields
+        in_wl = key in workload_fields
+        if in_cfg and in_wl:
+            raise ValueError(
+                f"parameter {key!r} is ambiguous: both workload "
+                f"{workload_name!r} and {scheme_cls.config_cls.__name__} "
+                f"accept it; pass it via workload_params= or config= instead"
+            )
+        if in_cfg:
+            cfg[key] = value
+        elif in_wl:
+            wl[key] = value
+        else:
+            valid = sorted(config_fields | workload_fields)
+            raise ValueError(
+                f"unknown parameter {key!r}; valid parameters here: "
+                f"{', '.join(valid)}"
+            )
+    return wl, cfg
+
+
+def build(
+    scheme: str,
+    workload: WorkloadLike = "hypercube",
+    n: Optional[int] = None,
+    seed: SeedLike = 0,
+    *,
+    config: Union[None, Mapping[str, Any], Any] = None,
+    workload_params: Optional[Mapping[str, Any]] = None,
+    cache: Optional[BuildCache] = None,
+    **params: Any,
+) -> FittedScheme:
+    """Build a registered scheme on a registered workload.
+
+    Loose keyword arguments are routed automatically: names matching the
+    scheme's config go to the config, names matching the workload's
+    parameters go to the generator, anything else (or anything both
+    accept) raises with the valid choices spelled out.  ``seed`` drives
+    both the workload generator and every randomized part of the scheme,
+    so equal seeds give identical builds.
+    """
+    entry = SCHEMES.get(scheme)
+    scheme_cls = entry.obj
+    wl_name = workload if isinstance(workload, str) else None
+    wl_params, cfg_params = _split_params(scheme_cls, wl_name, params)
+    if workload_params:
+        overlap = set(wl_params) & set(workload_params)
+        if overlap:
+            raise ValueError(f"workload parameter(s) given twice: {sorted(overlap)}")
+        wl_params.update(workload_params)
+    if config is not None and cfg_params:
+        raise ValueError(
+            f"pass scheme options either via config= or as keywords, not both "
+            f"(got config= plus {sorted(cfg_params)})"
+        )
+    if config is None:
+        config = scheme_cls.config_cls.from_dict(cfg_params)
+    elif isinstance(config, Mapping):
+        config = scheme_cls.config_cls.from_dict(config)
+
+    instance = build_workload(workload, n=n, seed=seed, cache=cache, **wl_params)
+    return scheme_cls.build(instance, config, seed=seed)
+
+
+def list_workloads() -> Tuple[Tuple[str, str], ...]:
+    """(name, summary) for every registered workload."""
+    return tuple((name, entry.summary) for name, entry in WORKLOADS.items())
+
+
+def list_schemes() -> Tuple[Tuple[str, str, str], ...]:
+    """(name, problem, summary) for every registered scheme."""
+    return tuple(
+        (name, entry.meta.get("problem", ""), entry.summary)
+        for name, entry in SCHEMES.items()
+    )
+
+
+def describe() -> str:
+    """A human-readable listing of all workloads and schemes."""
+    lines = [f"workloads ({len(WORKLOADS)})"]
+    for name, summary in list_workloads():
+        lines.append(f"  {name:<14s} {summary}")
+    lines.append("")
+    lines.append(f"schemes ({len(SCHEMES)})")
+    for name, problem, summary in list_schemes():
+        lines.append(f"  {name:<14s} [{problem}] {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""String-keyed registries for workloads and schemes.
+
+The paper solves four problems with one structure; the library mirrors
+that by making every workload generator and every scheme discoverable
+under a short stable name.  A :class:`Registry` maps names to
+:class:`Entry` records (the registered object plus metadata), supports
+decorator-based registration, and raises a :class:`KeyError` that lists
+the valid names — so a typo in a CLI flag or a config file is
+self-diagnosing.
+
+Two module-level registries are the single source of truth:
+
+* :data:`WORKLOADS` — workload builders (see :mod:`repro.api.workloads`);
+* :data:`SCHEMES` — scheme adapters (see :mod:`repro.api.schemes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One registered object plus its metadata."""
+
+    name: str
+    obj: Any
+    summary: str = ""
+    #: free-form metadata (e.g. workload parameter defaults, problem family)
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """An ordered, string-keyed registry with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Entry] = {}
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        obj: Optional[Any] = None,
+        *,
+        summary: str = "",
+        **meta: Any,
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``registry.register("foo", thing)`` registers directly;
+        ``@registry.register("foo")`` registers the decorated object.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+
+        def _add(target: Any) -> Any:
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {self._entries[name].obj!r})"
+                )
+            doc_summary = summary
+            if not doc_summary and getattr(target, "__doc__", None):
+                doc_summary = target.__doc__.strip().splitlines()[0]
+            self._entries[name] = Entry(name, target, doc_summary, dict(meta))
+            return target
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (mainly for tests registering temporaries)."""
+        self._entries.pop(name, None)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, name: str) -> Entry:
+        """The entry for ``name``; a KeyError listing valid names otherwise."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; valid {self.kind}s: {valid}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, Entry]]:
+        return iter(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._entries)})"
+
+
+#: Workload generators, keyed by the names the CLI exposes.
+WORKLOADS = Registry("workload")
+
+#: Scheme adapters for the paper's problems, keyed by stable names.
+SCHEMES = Registry("scheme")
+
+
+def register_workload(
+    name: str, *, summary: str = "", kind: str = "metric", **defaults: Any
+) -> Callable:
+    """Decorator: register a workload builder.
+
+    ``kind`` is ``"metric"`` (builder returns a MetricSpace) or
+    ``"graph"`` (builder returns a WeightedGraph; its shortest-path
+    metric is derived lazily).  ``defaults`` document the extra keyword
+    parameters the builder accepts beyond ``n`` and ``seed``, and serve
+    as the authoritative parameter list for CLI/config splitting.
+    """
+    if kind not in ("metric", "graph"):
+        raise ValueError(f"workload kind must be 'metric' or 'graph', got {kind!r}")
+    return WORKLOADS.register(name, summary=summary, kind=kind, defaults=defaults)
+
+
+def register_scheme(name: str, *, summary: str = "", problem: str = "") -> Callable:
+    """Decorator: register a :class:`~repro.api.schemes.Scheme` adapter."""
+    return SCHEMES.register(name, summary=summary, problem=problem)
+
+
+def workload_names() -> Tuple[str, ...]:
+    return WORKLOADS.names()
+
+
+def scheme_names() -> Tuple[str, ...]:
+    return SCHEMES.names()

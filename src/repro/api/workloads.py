@@ -1,0 +1,245 @@
+"""Workload specs, instances, and the registered generators.
+
+A :class:`Workload` is a *hashable value object* naming a registered
+generator plus its parameters — the cache key for the facade's memoized
+builds.  A :class:`WorkloadInstance` is the realized workload: the
+metric (always), the underlying graph (for graph workloads), and
+lazily-built shared structures (:class:`ScaleStructure`, doubling
+measures, sampled rings) that several schemes on the same instance
+reuse instead of rebuilding their own O(n²) machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.graphs.generators import grid_graph, knn_geometric_graph
+from repro.graphs.graph import WeightedGraph
+from repro.labeling._scales import ScaleStructure
+from repro.metrics.base import MetricSpace
+from repro.metrics.graphmetric import ShortestPathMetric
+from repro.metrics.measure import DoublingMeasure, doubling_measure
+from repro.metrics.synthetic import (
+    clustered_metric,
+    exponential_line,
+    grid_metric,
+    internet_like_metric,
+    random_hypercube_metric,
+    ring_metric,
+    uniform_line,
+)
+from repro.api.registry import WORKLOADS, register_workload
+from repro.core.rings import RingsOfNeighbors, cardinality_rings
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload plus parameters — hashable, so it is a cache key."""
+
+    name: str
+    n: int = 96
+    seed: Optional[int] = 0
+    #: extra generator parameters, stored sorted for stable hashing
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, name: str, n: int = 96, seed: Optional[int] = 0, **params: Any
+    ) -> "Workload":
+        entry = WORKLOADS.get(name)  # validates the name early
+        defaults: Mapping[str, Any] = entry.meta["defaults"]
+        unknown = set(params) - set(defaults)
+        if unknown:
+            valid = ", ".join(sorted(defaults)) or "<none>"
+            raise ValueError(
+                f"unknown parameter(s) {sorted(unknown)} for workload "
+                f"{name!r}; valid parameters: {valid}"
+            )
+        # Normalize against the registry defaults so explicitly passing a
+        # default value yields the same (hashable) spec — and cache key —
+        # as omitting it.
+        full = {**defaults, **params}
+        return cls(name=name, n=int(n), seed=seed,
+                   params=tuple(sorted(full.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        out: Dict[str, Any] = {"workload": self.name, "n": self.n, "seed": self.seed}
+        out.update(self.kwargs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Workload":
+        data = dict(data)
+        name = data.pop("workload")
+        return cls.make(name, n=data.pop("n", 96), seed=data.pop("seed", 0), **data)
+
+
+class WorkloadInstance:
+    """A realized workload: metric, optional graph, shared structures."""
+
+    def __init__(
+        self,
+        spec: Workload,
+        metric: MetricSpace,
+        graph: Optional[WeightedGraph] = None,
+    ) -> None:
+        self.spec = spec
+        self.metric = metric
+        self.graph = graph
+        self._scales: Dict[float, ScaleStructure] = {}
+        self._measure: Optional[DoublingMeasure] = None
+        self._rings: Dict[Tuple[int, Optional[int]], RingsOfNeighbors] = {}
+
+    @property
+    def n(self) -> int:
+        return self.metric.n
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- shared lazily-built structures --------------------------------
+    #
+    # These are the expensive O(n²)-ish intermediates several schemes
+    # need; memoizing them here is what makes "build two schemes on one
+    # workload" cheap.
+
+    def scales(self, delta: float) -> ScaleStructure:
+        """The §3 scale structure for ``delta``, built once per delta."""
+        key = round(float(delta), 12)
+        if key not in self._scales:
+            self._scales[key] = ScaleStructure(self.metric, delta=float(delta))
+        return self._scales[key]
+
+    def measure(self) -> DoublingMeasure:
+        """A doubling measure on the metric (Theorem 1.3), built once."""
+        if self._measure is None:
+            self._measure = doubling_measure(self.metric)
+        return self._measure
+
+    def sampled_rings(
+        self, samples_per_ring: int, seed: Optional[int] = 0
+    ) -> RingsOfNeighbors:
+        """Shared X-type sampled rings (§5.1), built once per (k, seed)."""
+        key = (int(samples_per_ring), seed)
+        if key not in self._rings:
+            self._rings[key] = cardinality_rings(
+                self.metric, samples_per_ring=int(samples_per_ring), seed=seed
+            )
+        return self._rings[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadInstance({self.spec.name!r}, n={self.metric.n}, "
+            f"graph={'yes' if self.graph is not None else 'no'})"
+        )
+
+
+def realize(spec: Workload) -> WorkloadInstance:
+    """Run the registered generator for ``spec`` (no caching here)."""
+    entry = WORKLOADS.get(spec.name)
+    built = entry.obj(n=spec.n, seed=spec.seed, **spec.kwargs)
+    if entry.meta.get("kind") == "graph":
+        if not isinstance(built, WeightedGraph):
+            raise TypeError(
+                f"workload {spec.name!r} is registered as kind='graph' but "
+                f"built a {type(built).__name__}"
+            )
+        return WorkloadInstance(spec, ShortestPathMetric(built), graph=built)
+    if not isinstance(built, MetricSpace):
+        raise TypeError(
+            f"workload {spec.name!r} is registered as kind='metric' but "
+            f"built a {type(built).__name__}"
+        )
+    return WorkloadInstance(spec, built)
+
+
+# ----------------------------------------------------------------------
+# Registered generators.  Each accepts (n, seed, **params); deterministic
+# generators simply ignore the seed so one calling convention fits all.
+# ----------------------------------------------------------------------
+
+
+@register_workload("hypercube", summary="uniform points in the unit cube", dim=2)
+def _hypercube(n: int, seed: Optional[int] = 0, dim: int = 2) -> MetricSpace:
+    return random_hypercube_metric(n, dim=dim, seed=seed)
+
+
+@register_workload("grid", summary="the side^dim integer grid (side from n)", dim=2)
+def _grid(n: int, seed: Optional[int] = 0, dim: int = 2) -> MetricSpace:
+    side = max(2, int(round(n ** (1.0 / dim))))
+    return grid_metric(side, dim=dim)
+
+
+@register_workload(
+    "expline", summary="exponential line {base^i}: aspect ratio base^n", base=2.0
+)
+def _expline(n: int, seed: Optional[int] = 0, base: float = 2.0) -> MetricSpace:
+    return exponential_line(n, base=base)
+
+
+@register_workload(
+    "internet", summary="hierarchically clustered internet-like latencies"
+)
+def _internet(n: int, seed: Optional[int] = 0) -> MetricSpace:
+    return internet_like_metric(n, seed=seed)
+
+
+@register_workload("uline", summary="evenly spaced line (UL-constrained)", spacing=1.0)
+def _uline(n: int, seed: Optional[int] = 0, spacing: float = 1.0) -> MetricSpace:
+    return uniform_line(n, spacing=spacing)
+
+
+@register_workload("ring", summary="points evenly spaced on a circle", radius=1.0)
+def _ring(n: int, seed: Optional[int] = 0, radius: float = 1.0) -> MetricSpace:
+    return ring_metric(n, radius=radius)
+
+
+@register_workload(
+    "clustered", summary="Gaussian clusters around uniform centers",
+    clusters=8, dim=3, spread=0.05,
+)
+def _clustered(
+    n: int,
+    seed: Optional[int] = 0,
+    clusters: int = 8,
+    dim: int = 3,
+    spread: float = 0.05,
+) -> MetricSpace:
+    return clustered_metric(n, clusters=clusters, dim=dim, spread=spread, seed=seed)
+
+
+@register_workload(
+    "knn-graph", summary="k-nearest-neighbor geometric graph (doubling)",
+    kind="graph", k=4,
+)
+def _knn_graph(n: int, seed: Optional[int] = 0, k: int = 4) -> WeightedGraph:
+    return knn_geometric_graph(n, k=k, seed=seed)
+
+
+@register_workload(
+    "grid-graph", summary="side^dim grid graph (side from n)",
+    kind="graph", dim=2, jitter=0.0,
+)
+def _grid_graph(
+    n: int, seed: Optional[int] = 0, dim: int = 2, jitter: float = 0.0
+) -> WeightedGraph:
+    side = max(2, int(round(n ** (1.0 / dim))))
+    return grid_graph(side, dim=dim, jitter=jitter, seed=seed)
+
+
+@register_workload(
+    "gap-path", summary="path graph with exponential edge weights (Lemma B.5)",
+    kind="graph", base=2.0,
+)
+def _gap_path(n: int, seed: Optional[int] = 0, base: float = 2.0) -> WeightedGraph:
+    graph = WeightedGraph(n)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, float(base) ** i)
+    return graph

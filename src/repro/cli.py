@@ -2,6 +2,7 @@
 
 Commands mirror the paper's four problems plus workload inspection:
 
+* ``list``        — enumerate the registered workloads and schemes;
 * ``info``        — generate a workload and print its metric profile
   (n, Δ, doubling/grid dimension estimates);
 * ``triangulate`` — build the Theorem 3.2 triangulation, report order,
@@ -13,41 +14,64 @@ Commands mirror the paper's four problems plus workload inspection:
 * ``smallworld``  — sample a small-world model (5.2a / 5.2b / 5.5 /
   structures) and run queries.
 
-Workloads are chosen with ``--workload`` from the synthetic generators
-(``hypercube``, ``grid``, ``expline``, ``internet``, ``uline``).
+Everything is registry-driven: workloads come from
+``repro.api.WORKLOADS`` (``--workload``), schemes from
+``repro.api.SCHEMES``, and one ``--seed`` flows through both the
+generator and every randomized construction, so equal seeds reproduce
+identical runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 
-def _build_metric(args: argparse.Namespace):
-    from repro import metrics
+def _metric_workload_names() -> list[str]:
+    """Registered workloads that build a metric directly."""
+    from repro.api import WORKLOADS
 
-    n = args.n
-    seed = args.seed
-    if args.workload == "hypercube":
-        return metrics.random_hypercube_metric(n, dim=args.dim, seed=seed)
-    if args.workload == "grid":
-        side = max(2, int(round(n ** (1.0 / args.dim))))
-        return metrics.grid_metric(side, dim=args.dim)
-    if args.workload == "expline":
-        return metrics.exponential_line(n, base=args.base)
-    if args.workload == "internet":
-        return metrics.internet_like_metric(n, seed=seed)
-    if args.workload == "uline":
-        return metrics.uniform_line(n)
-    raise ValueError(f"unknown workload {args.workload!r}")
+    return [
+        name for name, entry in WORKLOADS.items()
+        if entry.meta.get("kind") == "metric"
+    ]
+
+
+def _workload_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """The subset of CLI flags the chosen workload actually accepts."""
+    from repro.api import WORKLOADS
+
+    defaults = WORKLOADS.get(args.workload).meta["defaults"]
+    return {
+        name: getattr(args, name)
+        for name in defaults
+        if getattr(args, name, None) is not None
+    }
+
+
+def _workload_from_args(args: argparse.Namespace):
+    from repro import api
+
+    return api.build_workload(
+        args.workload, n=args.n, seed=args.seed, **_workload_kwargs(args)
+    )
+
+
+def _build_metric(args: argparse.Namespace):
+    """Deprecated alias for the registry-driven workload builder.
+
+    Kept so scripts that imported the old helper keep working; prefer
+    ``repro.api.build_workload``.
+    """
+    return _workload_from_args(args).metric
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="hypercube",
-                        choices=["hypercube", "grid", "expline", "internet", "uline"])
+                        choices=_metric_workload_names())
     parser.add_argument("--n", type=int, default=96)
     parser.add_argument("--dim", type=int, default=2)
     parser.add_argument("--base", type=float, default=2.0,
@@ -55,10 +79,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro import api
+
+    print(api.describe())
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.metrics import doubling_dimension, grid_dimension
 
-    metric = _build_metric(args)
+    metric = _workload_from_args(args).metric
     print(f"workload      {args.workload}")
     print(f"n             {metric.n}")
     print(f"min distance  {metric.min_distance():.6g}")
@@ -71,97 +102,78 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_triangulate(args: argparse.Namespace) -> int:
-    from repro.labeling import RingTriangulation
+    from repro import api
 
-    metric = _build_metric(args)
-    tri = RingTriangulation(metric, delta=args.delta)
+    fitted = api.build(
+        "triangulation", workload=_workload_from_args(args),
+        seed=args.seed, delta=args.delta,
+    )
+    tri = fitted.inner
     print(f"order            {tri.order} (mean {tri.mean_order():.1f})")
     print(f"worst D+/D-      {tri.worst_ratio():.4f}")
     print(f"certified bound  {tri.certified_ratio_bound():.4f}")
     u, v = args.pair
-    print(f"d({u},{v})       {metric.distance(u, v):.6g}")
-    print(f"estimate         {tri.estimate(u, v):.6g}")
+    print(f"d({u},{v})       {tri.metric.distance(u, v):.6g}")
+    print(f"estimate         {fitted.query(u, v):.6g}")
     return 0
 
 
 def _cmd_labels(args: argparse.Namespace) -> int:
-    from repro.labeling import RingDLS
+    from repro import api
 
-    metric = _build_metric(args)
-    dls = RingDLS(metric, delta=args.delta)
+    fitted = api.build(
+        "labels", workload=_workload_from_args(args),
+        seed=args.seed, delta=args.delta,
+    )
+    dls = fitted.inner
     print(f"max label bits   {dls.max_label_bits():,}")
     print(f"mean label bits  {dls.mean_label_bits():,.0f}")
     print(f"max |T_u|        {dls.max_virtual_neighbors()}")
     u, v = args.pair
-    print(f"d({u},{v})       {metric.distance(u, v):.6g}")
-    print(f"estimate         {dls.estimate(u, v):.6g}")
+    print(f"d({u},{v})       {dls.metric.distance(u, v):.6g}")
+    print(f"estimate         {fitted.query(u, v):.6g}")
     return 0
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    from repro.graphs import knn_geometric_graph
-    from repro.metrics.graphmetric import ShortestPathMetric
-    from repro.routing import (
-        LabelRouting,
-        RingRouting,
-        TrivialRouting,
-        TwoModeRouting,
-        evaluate_scheme,
-    )
+    from repro import api
 
-    graph = knn_geometric_graph(args.n, k=args.k, seed=args.seed)
-    metric = ShortestPathMetric(graph)
-    if args.scheme == "trivial":
-        scheme = TrivialRouting(graph)
-    elif args.scheme == "thm2.1":
-        scheme = RingRouting(graph, delta=args.delta, metric=metric)
-    elif args.scheme == "thm4.1":
-        scheme = LabelRouting(graph, delta=args.delta,
-                              estimator="triangulation", metric=metric)
-    else:
-        scheme = TwoModeRouting(graph, delta=args.delta, metric=metric)
-    stats = evaluate_scheme(
-        scheme, metric.matrix, sample_pairs=args.packets, seed=args.seed
+    fitted = api.build(
+        f"route-{args.scheme}", workload="knn-graph",
+        n=args.n, seed=args.seed,
+        workload_params={"k": args.k}, config={"delta": args.delta},
     )
+    stats = fitted.stats(samples=args.packets, seed=args.seed)
     print(f"scheme        {args.scheme}")
-    print(f"delivery      {stats.delivery_rate:.1%}")
-    print(f"max stretch   {stats.max_stretch:.4f}")
-    print(f"mean stretch  {stats.mean_stretch:.4f}")
-    print(f"table bits    {stats.max_table_bits:,}")
-    print(f"header bits   {stats.max_header_bits:,}")
+    print(f"delivery      {stats['delivery_rate']:.1%}")
+    print(f"max stretch   {stats['max_stretch']:.4f}")
+    print(f"mean stretch  {stats['mean_stretch']:.4f}")
+    print(f"table bits    {stats['max_table_bits']:,}")
+    print(f"header bits   {stats['max_header_bits']:,}")
     return 0
 
 
 def _cmd_smallworld(args: argparse.Namespace) -> int:
-    from repro.graphs import grid_graph
-    from repro.metrics.graphmetric import ShortestPathMetric
-    from repro.smallworld import (
-        GreedyRingsModel,
-        GroupStructuresModel,
-        PrunedRingsModel,
-        SingleLinkModel,
-        evaluate_model,
-    )
+    from repro import api
 
+    # 5.5 and kleinberg are tied to grid substrates; --workload would be
+    # silently ignored for them, so route them to their canonical grids.
     if args.model == "5.5":
-        side = max(2, int(round(args.n**0.5)))
-        graph = grid_graph(side)
-        metric = ShortestPathMetric(graph)
-        model = SingleLinkModel(metric, graph)
+        workload = api.build_workload("grid-graph", n=args.n, seed=args.seed)
+    elif args.model == "kleinberg":
+        workload = api.build_workload("grid", n=args.n, seed=args.seed)
     else:
-        metric = _build_metric(args)
-        if args.model == "5.2a":
-            model = GreedyRingsModel(metric, c=args.c)
-        elif args.model == "5.2b":
-            model = PrunedRingsModel(metric, c=args.c)
-        else:
-            model = GroupStructuresModel(metric)
-    stats = evaluate_model(model, sample_queries=args.queries, seed=args.seed)
+        workload = _workload_from_args(args)
+    fitted = api.build(
+        f"sw-{args.model}", workload=workload, seed=args.seed, c=args.c,
+    )
+    stats = fitted.stats(samples=args.queries, seed=args.seed)
     print(f"model        {args.model}")
-    print(f"completion   {stats.completion_rate:.1%}")
-    print(f"max hops     {stats.max_hops}")
-    print(f"mean hops    {stats.mean_hops:.2f}")
-    print(f"out-degree   {stats.max_out_degree} (mean {stats.mean_out_degree:.1f})")
+    print(f"completion   {stats['completion_rate']:.1%}")
+    print(f"max hops     {stats['max_hops']}")
+    print(f"mean hops    {stats['mean_hops']:.2f}")
+    print(f"out-degree   {stats['max_out_degree']} "
+          f"(mean {stats['mean_out_degree']:.1f})")
     return 0
 
 
@@ -171,6 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Rings of neighbors (Slivkins, PODC 2005) — reproduction CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered workloads and schemes")
+    p_list.set_defaults(func=_cmd_list)
 
     p_info = sub.add_parser("info", help="print a workload's metric profile")
     _add_workload_arguments(p_info)
@@ -201,7 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw = sub.add_parser("smallworld", help="searchable small worlds")
     _add_workload_arguments(p_sw)
     p_sw.add_argument("--model", default="5.2a",
-                      choices=["5.2a", "5.2b", "5.5", "structures"])
+                      choices=["5.2a", "5.2b", "5.5", "structures", "kleinberg"],
+                      help="5.5 and kleinberg always use their grid "
+                           "substrates and ignore --workload")
     p_sw.add_argument("--c", type=float, default=2.0)
     p_sw.add_argument("--queries", type=int, default=300)
     p_sw.set_defaults(func=_cmd_smallworld)

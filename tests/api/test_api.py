@@ -1,0 +1,188 @@
+"""The unified facade: registries, configs, caching, round trips."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.api.workloads import WorkloadInstance
+from repro.bits import SizeAccount
+from repro.metrics import uniform_line
+
+N = 25  # a perfect square, so grid-style workloads keep exactly n nodes
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def cache():
+    """One shared cache for the whole module (exercises reuse)."""
+    return api.BuildCache()
+
+
+class TestRegistry:
+    def test_enough_workloads_and_schemes(self):
+        assert len(api.workload_names()) >= 5
+        assert len(api.scheme_names()) >= 8
+
+    def test_unknown_scheme_lists_valid_keys(self):
+        with pytest.raises(KeyError) as err:
+            api.build("not-a-scheme", workload="uline", n=N)
+        message = str(err.value)
+        assert "not-a-scheme" in message
+        for name in api.scheme_names():
+            assert name in message
+
+    def test_unknown_workload_lists_valid_keys(self):
+        with pytest.raises(KeyError) as err:
+            api.build_workload("not-a-workload", n=N)
+        message = str(err.value)
+        assert "not-a-workload" in message
+        for name in api.workload_names():
+            assert name in message
+
+    def test_unknown_workload_parameter(self):
+        with pytest.raises(ValueError, match="frobnicate"):
+            api.build_workload("uline", n=N, frobnicate=3)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            api.register_workload("uline")(lambda n, seed=0: uniform_line(n))
+
+
+class TestConfigs:
+    @pytest.mark.parametrize("name", api.scheme_names())
+    def test_default_config_round_trips(self, name):
+        config_cls = api.SCHEMES.get(name).obj.config_cls
+        config = config_cls()
+        assert config_cls.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_lists_valid_options(self):
+        with pytest.raises(ValueError) as err:
+            api.TriangulationConfig.from_dict({"delta": 0.3, "bogus": 1})
+        assert "bogus" in str(err.value)
+        assert "delta" in str(err.value)
+
+    def test_validation_rejects_bad_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            api.TriangulationConfig(delta=0.7)
+        with pytest.raises(ValueError, match="beta"):
+            api.MeridianConfig(beta=2.0)
+
+    def test_configs_are_frozen(self):
+        config = api.RoutingConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.delta = 0.1
+
+    def test_workload_spec_round_trips(self):
+        spec = api.Workload.make("expline", n=32, seed=None, base=1.7)
+        assert api.Workload.from_dict(spec.to_dict()) == spec
+
+
+class TestRoundTrip:
+    """Every registered scheme builds and answers on every workload."""
+
+    @pytest.mark.parametrize("workload", api.workload_names())
+    @pytest.mark.parametrize("scheme", api.scheme_names())
+    def test_build_query_stats_size(self, scheme, workload, cache):
+        fitted = api.build(scheme, workload=workload, n=N, seed=SEED, cache=cache)
+        assert isinstance(fitted.workload, WorkloadInstance)
+
+        result = fitted.query(0, N - 1)
+        assert result is not None
+        if isinstance(result, float):
+            assert result >= 0
+
+        stats = fitted.stats(samples=10, seed=SEED)
+        assert isinstance(stats, dict) and stats
+
+        account = fitted.size_account()
+        assert isinstance(account, SizeAccount)
+        assert account.total_bits > 0
+
+    def test_protocol_conformance(self):
+        fitted = api.build("triangulation", workload="uline", n=N)
+        assert isinstance(fitted, api.Scheme)
+
+
+class TestCaching:
+    def test_two_schemes_share_one_generator_invocation(self):
+        calls = {"count": 0}
+
+        @api.register_workload("counting-workload", summary="test-only")
+        def _counting(n, seed=0):
+            calls["count"] += 1
+            return uniform_line(n)
+
+        try:
+            cache = api.BuildCache()
+            api.build("triangulation", workload="counting-workload", n=N,
+                      seed=0, cache=cache)
+            api.build("labels", workload="counting-workload", n=N,
+                      seed=0, cache=cache)
+            assert calls["count"] == 1
+            assert cache.info()["hits"] == 1
+
+            # A different seed is a different instance.
+            api.build("triangulation", workload="counting-workload", n=N,
+                      seed=1, cache=cache)
+            assert calls["count"] == 2
+        finally:
+            api.WORKLOADS.unregister("counting-workload")
+
+    def test_scale_structure_shared_across_schemes(self):
+        cache = api.BuildCache()
+        tri = api.build("triangulation", workload="uline", n=N, seed=0,
+                        delta=0.3, cache=cache)
+        dls = api.build("labels", workload="uline", n=N, seed=0,
+                        delta=0.3, cache=cache)
+        assert tri.workload is dls.workload
+        assert tri.inner.scales is dls.inner.scales
+
+    def test_explicit_default_param_shares_cache_entry(self):
+        cache = api.BuildCache()
+        implicit = api.build_workload("hypercube", n=N, seed=0, cache=cache)
+        explicit = api.build_workload("hypercube", n=N, seed=0, dim=2, cache=cache)
+        assert implicit is explicit
+
+    def test_cache_is_bounded(self):
+        cache = api.BuildCache(maxsize=2)
+        for n in (8, 9, 10, 11):
+            api.build_workload("uline", n=n, cache=cache)
+        assert cache.info()["entries"] == 2
+
+    def test_default_cache_hit(self):
+        api.clear_cache()
+        api.build_workload("uline", n=N, seed=0)
+        api.build_workload("uline", n=N, seed=0)
+        info = api.cache_info()
+        assert info["entries"] == 1 and info["hits"] == 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme", ["beacons", "sw-5.2a", "meridian"])
+    def test_same_seed_same_stats(self, scheme):
+        first = api.build(scheme, workload="hypercube", n=N, seed=7)
+        second = api.build(scheme, workload="hypercube", n=N, seed=7)
+        assert first.stats(samples=20, seed=3) == second.stats(samples=20, seed=3)
+
+
+class TestBuildArguments:
+    def test_ambiguous_parameter_rejected(self):
+        # 'k' is both the knn-graph degree and the oracle's level count.
+        with pytest.raises(ValueError, match="ambiguous"):
+            api.build("tz-oracle", workload="knn-graph", n=N, k=3)
+
+    def test_ambiguity_resolved_explicitly(self):
+        fitted = api.build(
+            "tz-oracle", workload="knn-graph", n=N, seed=0,
+            workload_params={"k": 3}, config={"k": 2},
+        )
+        assert fitted.inner.k == 2
+        assert fitted.config.k == 2
+
+    def test_config_and_keywords_conflict(self):
+        with pytest.raises(ValueError, match="config="):
+            api.build("triangulation", workload="uline", n=N,
+                      config={"delta": 0.2}, delta=0.3)

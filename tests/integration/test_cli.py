@@ -47,6 +47,18 @@ class TestCli:
         code = main(["smallworld", "--model", "5.5", "--n", "49", "--queries", "40"])
         assert code == 0
 
+    def test_list_enumerates_registries(self, capsys):
+        from repro import api
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert len(api.workload_names()) >= 5
+        assert len(api.scheme_names()) >= 8
+        for name in api.workload_names():
+            assert name in out
+        for name in api.scheme_names():
+            assert name in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
