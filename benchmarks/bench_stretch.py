@@ -11,9 +11,13 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro import api
+from repro.engine import UniformSamplePlan
 from repro.routing import RingRouting, evaluate_scheme
 
 DELTAS = (0.45, 0.3, 0.2, 0.1, 0.05)
+
+#: One engine plan shared by every delta: 400 seed-deterministic pairs.
+PLAN = UniformSamplePlan(size=400, seed=4)
 
 
 @pytest.fixture(scope="module")
@@ -29,7 +33,7 @@ def test_stretch_vs_delta(benchmark, workload):
     for delta in DELTAS:
         scheme = RingRouting(graph, delta=delta, metric=metric)
         schemes[delta] = scheme
-        stats = evaluate_scheme(scheme, metric.matrix, sample_pairs=400, seed=4)
+        stats = evaluate_scheme(scheme, metric.matrix, plan=PLAN)
         rows.append(
             (
                 delta,

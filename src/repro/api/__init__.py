@@ -38,6 +38,7 @@ from repro.api.configs import (
     DLSConfig,
     MeridianConfig,
     OracleConfig,
+    PlanConfig,
     RoutingConfig,
     SchemeConfig,
     SmallWorldConfig,
@@ -52,6 +53,7 @@ from repro.api.facade import (
     cache_info,
     clear_cache,
     describe,
+    evaluate,
     list_schemes,
     list_workloads,
 )
@@ -69,6 +71,7 @@ __all__ = [
     "BeaconsConfig",
     "DLSConfig",
     "OracleConfig",
+    "PlanConfig",
     "RoutingConfig",
     "SmallWorldConfig",
     "MeridianConfig",
@@ -82,6 +85,7 @@ __all__ = [
     "cache_info",
     "clear_cache",
     "describe",
+    "evaluate",
     "list_schemes",
     "list_workloads",
 ]

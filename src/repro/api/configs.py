@@ -148,6 +148,43 @@ class SmallWorldConfig(SchemeConfig):
 
 
 @dataclass(frozen=True)
+class PlanConfig(SchemeConfig):
+    """An evaluation plan: which node pairs a benchmark touches.
+
+    ``kind`` names a plan registered in :data:`repro.engine.PLANS`:
+    ``all-pairs`` (exhaustive), ``uniform`` (``pairs`` sampled pairs) or
+    ``stratified`` (``per_scale`` pairs per power-of-two distance
+    scale).  ``seed`` makes sampled plans deterministic.
+    """
+
+    kind: str = "uniform"
+    pairs: int = 2000
+    per_scale: int = 64
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in ("all-pairs", "uniform", "stratified"):
+            raise ValueError(
+                f"kind must be 'all-pairs', 'uniform' or 'stratified', "
+                f"got {self.kind!r}"
+            )
+        if self.pairs < 1:
+            raise ValueError(f"pairs must be positive, got {self.pairs}")
+        if self.per_scale < 1:
+            raise ValueError(f"per_scale must be positive, got {self.per_scale}")
+
+    def build(self):
+        """The :class:`repro.engine.QueryPlan` this config describes."""
+        from repro.engine import make_plan
+
+        if self.kind == "all-pairs":
+            return make_plan("all-pairs")
+        if self.kind == "uniform":
+            return make_plan("uniform", size=self.pairs, seed=self.seed)
+        return make_plan("stratified", per_scale=self.per_scale, seed=self.seed)
+
+
+@dataclass(frozen=True)
 class MeridianConfig(SchemeConfig):
     """Meridian closest-node overlay (§6, [57])."""
 

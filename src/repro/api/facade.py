@@ -189,6 +189,38 @@ def build(
     return scheme_cls.build(instance, config, seed=seed)
 
 
+def evaluate(
+    scheme: FittedScheme,
+    plan: Union[str, Any] = "uniform",
+    **plan_params: Any,
+) -> Dict[str, Any]:
+    """Evaluate a fitted scheme over a query plan.
+
+    ``plan`` is a name registered in :data:`repro.engine.PLANS`
+    (``all-pairs``, ``uniform``, ``stratified``) with its parameters as
+    keywords, a ready :class:`repro.engine.QueryPlan`, a
+    :class:`~repro.api.configs.PlanConfig`, or an explicit pair array:
+
+    >>> api.evaluate(scheme, "uniform", size=5000, seed=1)
+    >>> api.evaluate(scheme, "all-pairs")
+    >>> api.evaluate(scheme, PlanConfig(kind="stratified", per_scale=32))
+
+    Sampled plans make quality evaluation tractable at n = 10⁴⁺, where
+    the Θ(n²) all-pairs sweep is the bottleneck rather than the scheme.
+    """
+    from repro.engine import make_plan
+
+    from repro.api.configs import PlanConfig
+
+    if isinstance(plan, PlanConfig):
+        if plan_params:
+            raise ValueError("pass plan parameters inside the PlanConfig")
+        resolved = plan.build()
+    else:
+        resolved = make_plan(plan, **plan_params)
+    return scheme.evaluate(resolved)
+
+
 def list_workloads() -> Tuple[Tuple[str, str], ...]:
     """(name, summary) for every registered workload."""
     return tuple((name, entry.summary) for name, entry in WORKLOADS.items())

@@ -2,13 +2,13 @@
 
 The paper solves four problems with one structure; the library mirrors
 that by making every workload generator and every scheme discoverable
-under a short stable name.  A :class:`Registry` maps names to
-:class:`Entry` records (the registered object plus metadata), supports
-decorator-based registration, and raises a :class:`KeyError` that lists
-the valid names — so a typo in a CLI flag or a config file is
-self-diagnosing.
+under a short stable name.  The generic machinery (:class:`Registry`,
+:class:`Entry`) lives in :mod:`repro.registry` so lower layers — the
+query engine registers its evaluation plans the same way — can use it
+without importing the API package; this module re-exports it for
+backward compatibility.
 
-Two module-level registries are the single source of truth:
+Two module-level registries are the single source of truth here:
 
 * :data:`WORKLOADS` — workload builders (see :mod:`repro.api.workloads`);
 * :data:`SCHEMES` — scheme adapters (see :mod:`repro.api.schemes`).
@@ -16,94 +16,20 @@ Two module-level registries are the single source of truth:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Callable, Tuple
 
+from repro.registry import Entry, Registry
 
-@dataclass(frozen=True)
-class Entry:
-    """One registered object plus its metadata."""
-
-    name: str
-    obj: Any
-    summary: str = ""
-    #: free-form metadata (e.g. workload parameter defaults, problem family)
-    meta: Mapping[str, Any] = field(default_factory=dict)
-
-
-class Registry:
-    """An ordered, string-keyed registry with decorator registration."""
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._entries: Dict[str, Entry] = {}
-
-    # -- registration --------------------------------------------------
-
-    def register(
-        self,
-        name: str,
-        obj: Optional[Any] = None,
-        *,
-        summary: str = "",
-        **meta: Any,
-    ):
-        """Register ``obj`` under ``name``; usable as a decorator.
-
-        ``registry.register("foo", thing)`` registers directly;
-        ``@registry.register("foo")`` registers the decorated object.
-        """
-        if not name or not isinstance(name, str):
-            raise ValueError(f"{self.kind} name must be a non-empty string")
-
-        def _add(target: Any) -> Any:
-            if name in self._entries:
-                raise ValueError(
-                    f"{self.kind} {name!r} is already registered "
-                    f"(to {self._entries[name].obj!r})"
-                )
-            doc_summary = summary
-            if not doc_summary and getattr(target, "__doc__", None):
-                doc_summary = target.__doc__.strip().splitlines()[0]
-            self._entries[name] = Entry(name, target, doc_summary, dict(meta))
-            return target
-
-        if obj is None:
-            return _add
-        return _add(obj)
-
-    def unregister(self, name: str) -> None:
-        """Remove ``name`` (mainly for tests registering temporaries)."""
-        self._entries.pop(name, None)
-
-    # -- lookup --------------------------------------------------------
-
-    def get(self, name: str) -> Entry:
-        """The entry for ``name``; a KeyError listing valid names otherwise."""
-        try:
-            return self._entries[name]
-        except KeyError:
-            valid = ", ".join(sorted(self._entries)) or "<none>"
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; valid {self.kind}s: {valid}"
-            ) from None
-
-    def names(self) -> Tuple[str, ...]:
-        """All registered names, in registration order."""
-        return tuple(self._entries)
-
-    def items(self) -> Iterator[Tuple[str, Entry]]:
-        return iter(self._entries.items())
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._entries
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __repr__(self) -> str:
-        return f"Registry({self.kind!r}, {list(self._entries)})"
-
+__all__ = [
+    "Entry",
+    "Registry",
+    "WORKLOADS",
+    "SCHEMES",
+    "register_workload",
+    "register_scheme",
+    "workload_names",
+    "scheme_names",
+]
 
 #: Workload generators, keyed by the names the CLI exposes.
 WORKLOADS = Registry("workload")

@@ -98,6 +98,17 @@ class FittedScheme:
     def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
         raise NotImplementedError
 
+    def evaluate(self, plan: Any) -> Dict[str, Any]:
+        """Quality stats over an engine query plan (see :mod:`repro.engine`).
+
+        Every shipped adapter family overrides this; a subclass that does
+        not gets a :class:`NotImplementedError` (there is no meaningful
+        generic aggregation over :meth:`query`'s per-family result types).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support plan-driven evaluation"
+        )
+
     def size_account(self) -> SizeAccount:
         raise NotImplementedError
 
@@ -136,17 +147,20 @@ class _EstimatorScheme(FittedScheme):
 
     def _error_stats(self, samples: int, seed: SeedLike) -> Dict[str, Any]:
         metric = self.workload.metric
-        errors = []
-        for u, v in self._sample_pairs(samples, seed, metric.n):
-            d = metric.distance(int(u), int(v))
-            est = self.query(int(u), int(v))
-            if d > 0 and math.isfinite(est):
-                errors.append(abs(est - d) / d)
+        pairs = self._sample_pairs(samples, seed, metric.n)
+        report = self.evaluate(pairs)
         return {
-            "sampled_pairs": len(errors),
-            "max_relative_error": max(errors) if errors else float("inf"),
-            "mean_relative_error": float(np.mean(errors)) if errors else float("inf"),
+            "sampled_pairs": report["sampled_pairs"],
+            "max_relative_error": report["max_relative_error"],
+            "mean_relative_error": report["mean_relative_error"],
         }
+
+    def evaluate(self, plan: Any) -> Dict[str, Any]:
+        """Batched error stats over an engine plan (or explicit pairs)."""
+        from repro.engine import evaluate_estimator
+
+        report = evaluate_estimator(self.inner, self.workload.metric, plan)
+        return report.to_dict()
 
 
 @register_scheme(
@@ -341,12 +355,8 @@ class _RoutingAdapter(FittedScheme):
         """Route one packet; returns the :class:`RouteResult`."""
         return self.inner.route(u, v)
 
-    def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
-        from repro.routing.base import evaluate_scheme
-
-        rs = evaluate_scheme(
-            self.inner, self._matrix, sample_pairs=samples, seed=seed
-        )
+    @staticmethod
+    def _stats_dict(rs) -> Dict[str, Any]:
         return {
             "pairs": rs.pairs,
             "delivery_rate": rs.delivery_rate,
@@ -357,6 +367,23 @@ class _RoutingAdapter(FittedScheme):
             "max_table_bits": rs.max_table_bits,
             "max_label_bits": rs.max_label_bits,
         }
+
+    def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
+        from repro.routing.base import evaluate_scheme
+
+        rs = evaluate_scheme(
+            self.inner, self._matrix, sample_pairs=samples, seed=seed
+        )
+        return self._stats_dict(rs)
+
+    def evaluate(self, plan: Any) -> Dict[str, Any]:
+        """Routing stats over an engine plan (or explicit pairs)."""
+        from repro.engine import evaluate_routing
+
+        rs = evaluate_routing(
+            self.inner, self._matrix, plan, metric=self.workload.metric
+        )
+        return self._stats_dict(rs)
 
     def size_account(self) -> SizeAccount:
         inner = self.inner
@@ -453,13 +480,8 @@ class _SmallWorldAdapter(FittedScheme):
 
         return route_query(self.inner, self.contact_graph(), u, v)
 
-    def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
-        from repro.smallworld.base import evaluate_model
-
-        sw = evaluate_model(
-            self.inner, graph=self.contact_graph(),
-            sample_queries=samples, seed=seed,
-        )
+    @staticmethod
+    def _stats_dict(sw) -> Dict[str, Any]:
         return {
             "queries": sw.queries,
             "completion_rate": sw.completion_rate,
@@ -468,6 +490,27 @@ class _SmallWorldAdapter(FittedScheme):
             "max_out_degree": sw.max_out_degree,
             "mean_out_degree": sw.mean_out_degree,
         }
+
+    def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
+        from repro.smallworld.base import evaluate_model
+
+        sw = evaluate_model(
+            self.inner, graph=self.contact_graph(),
+            sample_queries=samples, seed=seed,
+        )
+        return self._stats_dict(sw)
+
+    def evaluate(self, plan: Any) -> Dict[str, Any]:
+        """Query stats over an engine plan (or explicit pairs)."""
+        from repro.engine import resolve_pairs
+        from repro.smallworld.base import evaluate_model
+
+        pairs = resolve_pairs(plan, self.inner.metric)
+        sw = evaluate_model(
+            self.inner, graph=self.contact_graph(),
+            queries=[(int(u), int(v)) for u, v in pairs],
+        )
+        return self._stats_dict(sw)
 
     def size_account(self) -> SizeAccount:
         graph = self.contact_graph()
@@ -586,9 +629,18 @@ class MeridianScheme(FittedScheme):
         return closest_node_search(self.inner, u, v, beta=self.config.beta)
 
     def stats(self, *, samples: int = 200, seed: SeedLike = 0) -> Dict[str, Any]:
+        pairs = self._sample_pairs(samples, seed, self.workload.metric.n)
+        return self._query_stats(pairs)
+
+    def evaluate(self, plan: Any) -> Dict[str, Any]:
+        """Search-quality stats over an engine plan (or explicit pairs)."""
+        from repro.engine import resolve_pairs
+
+        return self._query_stats(resolve_pairs(plan, self.workload.metric))
+
+    def _query_stats(self, pairs) -> Dict[str, Any]:
         approximations = []
         hops = []
-        pairs = self._sample_pairs(samples, seed, self.workload.metric.n)
         for u, v in pairs:
             result = self.query(int(u), int(v))
             approximations.append(result.approximation)

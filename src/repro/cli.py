@@ -135,6 +135,47 @@ def _cmd_labels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_config(args: argparse.Namespace):
+    """The PlanConfig described by --plan / --pairs / --per-scale."""
+    from repro.api import PlanConfig
+
+    return PlanConfig(
+        kind=args.plan,
+        pairs=args.pairs,
+        per_scale=getattr(args, "per_scale", 64),
+        seed=args.seed,
+    )
+
+
+def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plan", default="uniform",
+        choices=["all-pairs", "uniform", "stratified"],
+        help="which node pairs to evaluate on (engine query plan)")
+    parser.add_argument("--pairs", type=int, default=2000,
+                        help="sample size for --plan uniform")
+    parser.add_argument("--per-scale", type=int, default=64,
+                        help="pairs per distance scale for --plan stratified")
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro import api
+
+    fitted = api.build(
+        args.scheme, workload=_workload_from_args(args), seed=args.seed,
+    )
+    stats = api.evaluate(fitted, _plan_config(args))
+    print(f"scheme    {args.scheme}")
+    print(f"workload  {args.workload} (n={fitted.workload.n})")
+    print(f"plan      {args.plan}")
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"{key:<22s} {value:.6g}")
+        else:
+            print(f"{key:<22s} {value}")
+    return 0
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro import api
 
@@ -143,7 +184,10 @@ def _cmd_route(args: argparse.Namespace) -> int:
         n=args.n, seed=args.seed,
         workload_params={"k": args.k}, config={"delta": args.delta},
     )
-    stats = fitted.stats(samples=args.packets, seed=args.seed)
+    if args.plan is not None:
+        stats = api.evaluate(fitted, _plan_config(args))
+    else:
+        stats = fitted.stats(samples=args.packets, seed=args.seed)
     print(f"scheme        {args.scheme}")
     print(f"delivery      {stats['delivery_rate']:.1%}")
     print(f"max stretch   {stats['max_stretch']:.4f}")
@@ -211,7 +255,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--delta", type=float, default=0.25)
     p_route.add_argument("--packets", type=int, default=300)
     p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument("--plan", default=None,
+                         choices=["all-pairs", "uniform", "stratified"],
+                         help="evaluate on an engine query plan instead of "
+                              "the legacy --packets sample")
+    p_route.add_argument("--pairs", type=int, default=2000,
+                         help="sample size for --plan uniform")
+    p_route.add_argument("--per-scale", type=int, default=64,
+                         help="pairs per scale for --plan stratified")
     p_route.set_defaults(func=_cmd_route)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="evaluate any registered scheme over a query plan")
+    _add_workload_arguments(p_eval)
+    p_eval.add_argument("--scheme", default="triangulation",
+                        help="a scheme name from `repro list`")
+    _add_plan_arguments(p_eval)
+    p_eval.set_defaults(func=_cmd_evaluate)
 
     p_sw = sub.add_parser("smallworld", help="searchable small worlds")
     _add_workload_arguments(p_sw)

@@ -140,10 +140,12 @@ def net_rings(
     """
     rings = RingsOfNeighbors(metric)
     level_list = list(levels) if levels is not None else list(range(nets.levels))
-    for u in range(metric.n):
-        for j in level_list:
-            r = radius_for_level(j)
-            members = nets.members_in_ball(j, u, r)
+    all_nodes = range(metric.n)
+    # One batched block query per level instead of one row fetch per
+    # (node, level): the builder's cost drops to a handful of big gathers.
+    for j in level_list:
+        r = radius_for_level(j)
+        for u, members in zip(all_nodes, nets.members_in_balls(j, all_nodes, r)):
             rings.add_ring(
                 Ring(u, j, r, tuple(int(x) for x in members))
             )
@@ -169,10 +171,13 @@ def cardinality_rings(
     if levels is None:
         levels = max(1, int(np.ceil(np.log2(n))))
     rings = RingsOfNeighbors(metric)
+    counts = np.ceil(n / np.exp2(np.arange(levels))).astype(int).clip(1, n)
     for u in range(n):
         row = metric.distances_from(u)
+        # All level radii from one sorted row instead of `levels` rui calls.
+        radii = np.sort(row)[counts - 1]
         for i in range(levels):
-            radius = metric.rui(u, i)
+            radius = radii[i]
             members = np.flatnonzero(row <= radius)
             chosen = rng.choice(members, size=samples_per_ring, replace=True)
             rings.add_ring(

@@ -63,6 +63,9 @@ class ChurnSimulation:
         self.repair_probes = repair_probes
         self.rng = ensure_rng(seed)
         self.probes = 0
+        # Cached id range: per-event "everyone but u" candidate sets are
+        # vectorized deletes from this, never rebuilt Python lists.
+        self._ids = np.arange(metric.n)
 
     # -- ring surgery ---------------------------------------------------------
 
@@ -85,9 +88,9 @@ class ChurnSimulation:
         """A (re)joining node probes a random sample to seed its rings,
         and announces itself to the probed nodes."""
         self.overlay.nodes[joiner].rings = {}
-        others = [v for v in range(self.metric.n) if v != joiner]
+        others = np.delete(self._ids, joiner)
         sample = self.rng.choice(
-            others, size=min(self.bootstrap_probes, len(others)), replace=False
+            others, size=min(self.bootstrap_probes, others.size), replace=False
         )
         row = self.metric.distances_from(joiner)
         for v in sample:
@@ -101,9 +104,9 @@ class ChurnSimulation:
         """Random maintenance probes re-filling decayed rings."""
         for u in range(self.metric.n):
             row = self.metric.distances_from(u)
-            others = [v for v in range(self.metric.n) if v != u]
+            others = np.delete(self._ids, u)
             sample = self.rng.choice(
-                others, size=min(self.repair_probes, len(others)), replace=False
+                others, size=min(self.repair_probes, others.size), replace=False
             )
             for v in sample:
                 v = int(v)
@@ -124,21 +127,32 @@ class ChurnSimulation:
         if self.repair_probes:
             self._repair()
 
+        # Quality probe pairs come from an engine plan: exactly
+        # ``quality_queries`` distinct (start, target) pairs per epoch,
+        # deterministic given the simulation's rng state.
+        from repro.engine import UniformSamplePlan
+
         approximations: List[float] = []
-        for _ in range(quality_queries):
-            start, target = self.rng.integers(0, n, size=2)
-            if start == target:
-                continue
-            result = closest_node_search(self.overlay, int(start), int(target))
-            approximations.append(result.approximation)
+        size = min(quality_queries, n * (n - 1))
+        if size > 0:
+            plan = UniformSamplePlan(size=size, seed=int(self.rng.integers(2**31)))
+            for start, target in plan.pairs(n):
+                result = closest_node_search(self.overlay, int(start), int(target))
+                approximations.append(result.approximation)
         mean_members = float(
             np.mean([node.out_degree() for node in self.overlay.nodes])
         )
         return EpochReport(
             epoch=epoch,
             replaced_nodes=replaced,
-            mean_approximation=float(np.mean(approximations)),
-            exact_rate=float(np.mean([a == 1.0 for a in approximations])),
+            mean_approximation=(
+                float(np.mean(approximations)) if approximations else float("nan")
+            ),
+            exact_rate=(
+                float(np.mean([a == 1.0 for a in approximations]))
+                if approximations
+                else float("nan")
+            ),
             mean_ring_members=mean_members,
         )
 

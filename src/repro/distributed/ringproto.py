@@ -76,9 +76,12 @@ class GossipRingProtocol(RoundBasedProtocol):
             state = ctx.state[u]
             state["known"] = {}
             state["rings"] = {}
+        # One cached id range; per-node "everyone but u" is a vectorized
+        # delete, not a rebuilt Python list per node.
+        ids = np.arange(ctx.n)
         for u in range(ctx.n):
-            others = [v for v in range(ctx.n) if v != u]
-            for v in ctx.rng.choice(others, size=min(self.bootstrap, len(others)), replace=False):
+            others = np.delete(ids, u)
+            for v in ctx.rng.choice(others, size=min(self.bootstrap, others.size), replace=False):
                 self._file(ctx, u, int(v))
         self._round = 0
         self._kick_off(ctx)
@@ -150,22 +153,25 @@ def ring_coverage(
 
     scales_hit = scales_total = 0
     members_hit = members_total = 0
+    edges = base * np.exp2(np.arange(levels))  # annulus upper bounds
     for u in range(metric.n):
         row = metric.distances_from(u)
         gossip_rings = protocol.rings_of(ctx, u)
+        # Bucket every node into its annulus with one vectorized pass
+        # instead of rescanning the row per scale.
+        scale = np.searchsorted(edges, row, side="left")
+        order = np.argsort(row, kind="stable")
         for j in range(levels):
-            lo = 0.0 if j == 0 else base * 2.0 ** (j - 1)
-            hi = base * 2.0**j
-            exact = [v for v in range(metric.n) if v != u and lo < row[v] <= hi]
-            if not exact:
+            in_annulus = order[(scale[order] == j) & (order != u) & (row[order] > 0)]
+            if in_annulus.size == 0:
                 continue
-            exact = sorted(exact, key=lambda v: row[v])[:cap]
+            exact = set(int(v) for v in in_annulus[:cap])
             found = set(gossip_rings.get(j, {}))
             scales_total += 1
             if found:
                 scales_hit += 1
             members_total += len(exact)
-            members_hit += len(found & set(exact))
+            members_hit += len(found & exact)
     scale_coverage = scales_hit / max(1, scales_total)
     member_recall = members_hit / max(1, members_total)
     return scale_coverage, member_recall

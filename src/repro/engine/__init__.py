@@ -1,0 +1,42 @@
+"""The batched query engine: plans + vectorized evaluation drivers.
+
+This layer sits between the structures (metrics, rings, schemes) and the
+API facade: it decides *which* node pairs an evaluation touches
+(:mod:`repro.engine.plans`) and runs the touch loop with batched
+distance queries and NumPy aggregation (:mod:`repro.engine.evaluate`).
+Exhaustive all-pairs evaluation and seed-deterministic sampling are the
+same code path, so benchmarks scale from n = 10² (exact) to n = 10⁴⁺
+(sampled) by swapping one plan object.
+"""
+
+from repro.engine.evaluate import (
+    EstimatorStats,
+    bulk_estimates,
+    evaluate_estimator,
+    evaluate_routing,
+)
+from repro.engine.plans import (
+    PLANS,
+    AllPairsPlan,
+    PlanLike,
+    QueryPlan,
+    StratifiedPlan,
+    UniformSamplePlan,
+    make_plan,
+    resolve_pairs,
+)
+
+__all__ = [
+    "AllPairsPlan",
+    "EstimatorStats",
+    "PLANS",
+    "PlanLike",
+    "QueryPlan",
+    "StratifiedPlan",
+    "UniformSamplePlan",
+    "bulk_estimates",
+    "evaluate_estimator",
+    "evaluate_routing",
+    "make_plan",
+    "resolve_pairs",
+]

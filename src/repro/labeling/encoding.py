@@ -92,6 +92,35 @@ class DistanceCodec:
         """decode(encode(d)) — the stored approximation of d."""
         return self.decode(self.encode(d))
 
+    def roundtrip_many(self, d) -> "np.ndarray":
+        """Vectorized :meth:`roundtrip` over an array of distances.
+
+        Bit-for-bit equivalent to the scalar path (same floor/clip/ceil
+        sequence), shaped like the input.
+        """
+        import numpy as np
+
+        d = np.asarray(d, dtype=float)
+        if np.any(d < 0):
+            raise ValueError("distances are non-negative")
+        out = np.zeros_like(d)
+        pos = d > 0
+        x = d[pos]
+        if x.size == 0:
+            return out
+        e = np.floor(np.log2(x)) - self.mantissa_bits + 1
+        e = np.clip(e, self._e_min, self._e_max)
+        mantissa = np.ceil(x / np.exp2(e))
+        # Rounding up can push the mantissa to 2^b; renormalize.
+        over = mantissa >= 2**self.mantissa_bits
+        if np.any(over):
+            if np.any(e[over] + 1 > self._e_max):
+                raise ValueError("distance above codec range")
+            e = np.where(over, e + 1, e)
+            mantissa = np.where(over, np.ceil(x / np.exp2(e)), mantissa)
+        out[pos] = mantissa * np.exp2(e)
+        return out
+
     @classmethod
     def for_metric(cls, metric, mantissa_bits: int = 8) -> "DistanceCodec":
         """A codec covering a metric's full distance range."""

@@ -79,17 +79,19 @@ def closest_node_search(
         candidates = [v for v in set(candidates) if v != target]
         if not candidates:
             break
-        dists = np.array([row_q[v] for v in candidates])
+        cand = np.asarray(candidates, dtype=np.intp)
+        dists = row_q[cand]
         best = int(np.argmin(dists))
         if dists[best] <= beta * d_uq:
-            current = candidates[best]
+            current = int(cand[best])
             path.append(current)
         else:
             break
 
-    optimal = float(
-        min(row_q[v] for v in range(metric.n) if v != target)
-    )
+    # Masked vector min instead of a Python generator over all nodes.
+    masked = row_q.copy()
+    masked[target] = np.inf
+    optimal = float(masked.min())
     return ClosestNodeResult(
         target=target,
         start=start,

@@ -3,25 +3,87 @@
 Every algorithm in this library sees its input through this interface.
 Nodes are dense integer ids ``0..n-1``.  Subclasses implement
 :meth:`MetricSpace.distances_from` (a vectorized row of distances); the
-base class derives pairwise distances, closed balls ``B_u(r)``, the radii
-``r_u(eps)`` of the paper's §1.1 ("the radius of the smallest closed ball
-around u that contains at least eps*n nodes"), diameter, minimum positive
-distance and aspect ratio ``Δ``.
+base class derives pairwise distances, batched block/pair queries
+(:meth:`MetricSpace.distances_between` / :meth:`MetricSpace.pairwise`),
+closed balls ``B_u(r)``, the radii ``r_u(eps)`` of the paper's §1.1 ("the
+radius of the smallest closed ball around u that contains at least eps*n
+nodes"), diameter, minimum positive distance and aspect ratio ``Δ``.
 
-Per-node sorted distance rows are cached lazily, making ball-cardinality
-and ``r_u`` queries O(log n) after the first touch of a node.  The library
-targets laptop-scale instances (n up to a few thousand), for which this is
-both simple and fast.
+Per-node sorted distance rows are cached lazily in a memory-bounded LRU
+(:class:`RowCache`), so ball-cardinality and ``r_u`` queries stay
+O(log n) after the first touch of a node without ever pinning an O(n²)
+distance matrix in memory.  Concrete metrics with a cheap random-access
+representation (an explicit matrix, a point set) override the batched
+queries with fully vectorized implementations; large runs (n >= 10^4)
+should prefer those batched entry points over per-pair
+:meth:`MetricSpace.distance` loops.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterator, Optional, Tuple
+from collections import OrderedDict
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._types import NodeId
+
+#: Default byte budget for each per-metric row cache (sorted rows, raw
+#: rows).  64 MiB holds every row up to n ≈ 2800 and degrades to an LRU
+#: working set beyond that, keeping 10k+-node runs memory-bounded.
+DEFAULT_ROW_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class RowCache:
+    """A byte-bounded LRU cache of per-node distance rows.
+
+    Rows are independent immutable-by-convention arrays, so evicting an
+    entry never invalidates references callers already hold.  The cache
+    always retains at least one row, so a budget smaller than one row
+    degrades to "cache the most recent row" rather than thrashing to
+    zero.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_ROW_CACHE_BYTES) -> None:
+        if budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._rows: "OrderedDict[NodeId, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: NodeId) -> Optional[np.ndarray]:
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._rows.move_to_end(key)
+        return row
+
+    def put(self, key: NodeId, row: np.ndarray) -> np.ndarray:
+        old = self._rows.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._rows[key] = row
+        self._bytes += row.nbytes
+        while self._bytes > self.budget_bytes and len(self._rows) > 1:
+            _, evicted = self._rows.popitem(last=False)
+            self._bytes -= evicted.nbytes
+        return row
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._bytes = 0
 
 
 class MetricSpace(abc.ABC):
@@ -53,8 +115,8 @@ class MetricSpace(abc.ABC):
     # Derived queries
     # ------------------------------------------------------------------
 
-    def __init__(self) -> None:
-        self._sorted_rows: Dict[NodeId, np.ndarray] = {}
+    def __init__(self, row_cache_bytes: int = DEFAULT_ROW_CACHE_BYTES) -> None:
+        self._sorted_rows = RowCache(row_cache_bytes)
         self._extremes: Optional[Tuple[float, float]] = None
 
     def __len__(self) -> int:
@@ -73,6 +135,42 @@ class MetricSpace(abc.ABC):
         for u in range(self.n):
             for v in range(u + 1, self.n):
                 yield u, v
+
+    # -- batched queries -------------------------------------------------
+
+    def distances_between(
+        self, us: Sequence[NodeId], vs: Sequence[NodeId]
+    ) -> np.ndarray:
+        """The ``(len(us), len(vs))`` block of pairwise distances.
+
+        The generic implementation assembles one :meth:`distances_from`
+        row per source; matrix- and point-backed metrics override it with
+        a single vectorized gather.  Treat the result as read-only.
+        """
+        us = np.atleast_1d(np.asarray(us, dtype=np.intp))
+        vs = np.atleast_1d(np.asarray(vs, dtype=np.intp))
+        out = np.empty((us.size, vs.size))
+        for i, u in enumerate(us):
+            out[i] = self.distances_from(int(u))[vs]
+        return out
+
+    def pairwise(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> np.ndarray:
+        """Distances for an ``(m, 2)`` array of node pairs, one per row.
+
+        The generic implementation groups pairs by source so each needed
+        row is computed once regardless of how many pairs share it.
+        """
+        pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        out = np.empty(pairs.shape[0])
+        if pairs.shape[0] == 0:
+            return out
+        order = np.argsort(pairs[:, 0], kind="stable")
+        sources = pairs[order, 0]
+        bounds = np.flatnonzero(np.diff(sources)) + 1
+        for group in np.split(order, bounds):
+            row = self.distances_from(int(pairs[group[0], 0]))
+            out[group] = row[pairs[group, 1]]
+        return out
 
     # -- balls ----------------------------------------------------------
 
@@ -94,11 +192,15 @@ class MetricSpace(abc.ABC):
         side = "left" if open_ball else "right"
         return int(np.searchsorted(sorted_row, r, side=side))
 
+    def ball_sizes(self, u: NodeId, radii: Sequence[float]) -> np.ndarray:
+        """``|B_u(r)|`` for many radii at once (one searchsorted call)."""
+        sorted_row = self._sorted_row(u)
+        return np.searchsorted(sorted_row, np.asarray(radii), side="right")
+
     def _sorted_row(self, u: NodeId) -> np.ndarray:
         cached = self._sorted_rows.get(u)
         if cached is None:
-            cached = np.sort(self.distances_from(u))
-            self._sorted_rows[u] = cached
+            cached = self._sorted_rows.put(u, np.sort(self.distances_from(u)))
         return cached
 
     # -- r_u(eps) radii (paper §1.1) -------------------------------------

@@ -7,21 +7,31 @@ l_p metric has doubling dimension k + O(1).
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 import numpy as np
 
 from repro._types import NodeId
-from repro.metrics.base import MetricSpace
+from repro.metrics.base import DEFAULT_ROW_CACHE_BYTES, MetricSpace, RowCache
 
 
 class EuclideanMetric(MetricSpace):
     """Metric induced by points in ``R^k`` under an l_p norm.
 
-    Distance rows are computed lazily per node and cached, so memory stays
-    O(n * k + touched_rows * n).
+    Distance rows are computed lazily per node and kept in a byte-bounded
+    LRU, so memory stays O(n * k + cache_budget) no matter how many rows
+    are touched.  Batched queries (:meth:`distances_between`,
+    :meth:`pairwise`) are computed directly from the coordinates without
+    materializing rows at all.
     """
 
-    def __init__(self, points: np.ndarray, p: float = 2.0) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        points: np.ndarray,
+        p: float = 2.0,
+        row_cache_bytes: int = DEFAULT_ROW_CACHE_BYTES,
+    ) -> None:
+        super().__init__(row_cache_bytes)
         points = np.asarray(points, dtype=float)
         if points.ndim == 1:
             points = points[:, None]
@@ -31,7 +41,7 @@ class EuclideanMetric(MetricSpace):
             raise ValueError(f"l_p norm requires p >= 1, got {p}")
         self._points = points
         self._p = p
-        self._rows: dict[int, np.ndarray] = {}
+        self._rows = RowCache(row_cache_bytes)
 
     @property
     def n(self) -> int:
@@ -47,18 +57,31 @@ class EuclideanMetric(MetricSpace):
         """The point coordinates (treat as read-only)."""
         return self._points
 
+    def _norm(self, diff: np.ndarray) -> np.ndarray:
+        """l_p norm along the last axis of ``diff``."""
+        if self._p == 2.0:
+            return np.sqrt(np.einsum("...i,...i->...", diff, diff))
+        if np.isinf(self._p):
+            return np.abs(diff).max(axis=-1)
+        return np.power(np.power(np.abs(diff), self._p).sum(axis=-1), 1.0 / self._p)
+
     def distances_from(self, u: NodeId) -> np.ndarray:
         row = self._rows.get(u)
         if row is None:
-            diff = self._points - self._points[u]
-            if self._p == 2.0:
-                row = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            elif np.isinf(self._p):
-                row = np.abs(diff).max(axis=1)
-            else:
-                row = np.power(
-                    np.power(np.abs(diff), self._p).sum(axis=1), 1.0 / self._p
-                )
+            row = self._norm(self._points - self._points[u])
             row[u] = 0.0
-            self._rows[u] = row
+            self._rows.put(u, row)
         return row
+
+    def distances_between(
+        self, us: Sequence[NodeId], vs: Sequence[NodeId]
+    ) -> np.ndarray:
+        us = np.atleast_1d(np.asarray(us, dtype=np.intp))
+        vs = np.atleast_1d(np.asarray(vs, dtype=np.intp))
+        diff = self._points[us][:, None, :] - self._points[vs][None, :, :]
+        return self._norm(diff)
+
+    def pairwise(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        diff = self._points[pairs[:, 0]] - self._points[pairs[:, 1]]
+        return self._norm(diff)

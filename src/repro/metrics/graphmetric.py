@@ -47,3 +47,12 @@ class ShortestPathMetric(MetricSpace):
 
     def distances_from(self, u: NodeId) -> np.ndarray:
         return self._matrix[u]
+
+    def distances_between(self, us, vs) -> np.ndarray:
+        us = np.atleast_1d(np.asarray(us, dtype=np.intp))
+        vs = np.atleast_1d(np.asarray(vs, dtype=np.intp))
+        return self._matrix[np.ix_(us, vs)]
+
+    def pairwise(self, pairs) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        return self._matrix[pairs[:, 0], pairs[:, 1]]

@@ -20,6 +20,10 @@ import numpy as np
 from repro._types import NodeId
 from repro.metrics.base import MetricSpace
 
+#: Max elements per batched distance block (~8 MB of float64) used by the
+#: chunked net validators/builders, so peak memory stays bounded at any n.
+_PACKING_CHUNK_ELEMS = 1 << 20
+
 
 def greedy_net(
     metric: MetricSpace,
@@ -40,37 +44,53 @@ def greedy_net(
     # min_dist[v] tracks the distance from v to the current net; v joins the
     # net when that distance is >= r, which preserves packing (>= r) and,
     # once the scan finishes, guarantees covering (every non-member is < r
-    # from some member).
+    # from some member).  The id-order scan is batched: min_dist only
+    # decreases, so the smallest remaining id with min_dist >= r is exactly
+    # the next node the sequential scan would admit, and everything before
+    # it is settled for good.
     min_dist = np.full(n, np.inf)
     for s in net:
         np.minimum(min_dist, metric.distances_from(s), out=min_dist)
-    for v in range(n):
-        if min_dist[v] >= r:
-            net.append(v)
-            np.minimum(min_dist, metric.distances_from(v), out=min_dist)
+    pos = 0
+    while pos < n:
+        candidates = np.flatnonzero(min_dist[pos:] >= r)
+        if candidates.size == 0:
+            break
+        v = pos + int(candidates[0])
+        net.append(v)
+        np.minimum(min_dist, metric.distances_from(v), out=min_dist)
+        pos = v + 1
     return net
 
 
 def is_r_net(metric: MetricSpace, points: Sequence[NodeId], r: float) -> bool:
-    """Check both net properties (covering within r, packing >= r)."""
-    points = list(points)
-    if not points:
+    """Check both net properties (covering within r, packing >= r).
+
+    The packing check runs on batched distance blocks (chunked so memory
+    stays bounded even for nets of size Θ(n)).
+    """
+    points = np.asarray(list(points), dtype=np.intp)
+    if points.size == 0:
         return metric.n == 0
     n = metric.n
+    m = points.size
     min_dist = np.full(n, np.inf)
-    for s in points:
-        np.minimum(min_dist, metric.distances_from(s), out=min_dist)
+    chunk = max(1, _PACKING_CHUNK_ELEMS // max(1, n))
+    for start in range(0, m, chunk):
+        block = metric.distances_between(points[start : start + chunk], np.arange(n))
+        np.minimum(min_dist, block.min(axis=0), out=min_dist)
     covering = bool(np.all(min_dist <= r * (1 + 1e-9)))
-    packing = True
-    for i, s in enumerate(points):
-        row = metric.distances_from(s)
-        for t in points[i + 1 :]:
-            if row[t] < r * (1 - 1e-9):
-                packing = False
-                break
-        if not packing:
-            break
-    return covering and packing
+    if not covering:
+        return False
+    # Packing: every off-diagonal pair of net points at distance >= r.
+    chunk = max(1, _PACKING_CHUNK_ELEMS // m)
+    for start in range(0, m, chunk):
+        rows = points[start : start + chunk]
+        block = metric.distances_between(rows, points)
+        block[np.arange(rows.size), start + np.arange(rows.size)] = np.inf
+        if bool(np.any(block < r * (1 - 1e-9))):
+            return False
+    return True
 
 
 class NestedNets:
@@ -135,6 +155,24 @@ class NestedNets:
         candidates = self.net_array(j)
         row = self.metric.distances_from(u)
         return candidates[row[candidates] <= r]
+
+    def members_in_balls(
+        self, j: int, us: Sequence[NodeId], r: float
+    ) -> List[np.ndarray]:
+        """``members_in_ball(j, u, r)`` for many centers in one batched query.
+
+        Computes a ``(len(us), |G_j|)`` distance block per chunk instead of
+        one full row per center — the hot path of the ring builders.
+        """
+        candidates = self.net_array(j)
+        us = np.asarray(list(us), dtype=np.intp)
+        out: List[np.ndarray] = []
+        chunk = max(1, _PACKING_CHUNK_ELEMS // max(1, candidates.size))
+        for start in range(0, us.size, chunk):
+            block = self.metric.distances_between(us[start : start + chunk], candidates)
+            for i in range(block.shape[0]):
+                out.append(candidates[block[i] <= r])
+        return out
 
     def nearest_member(self, j: int, u: NodeId) -> NodeId:
         """The level-``j`` net point closest to ``u`` (covering => within radius)."""

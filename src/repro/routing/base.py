@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.engine.plans import PlanLike
 
 from repro._types import NodeId
 from repro.bits import SizeAccount
@@ -98,45 +101,39 @@ def evaluate_scheme(
     pairs: Optional[Iterable[Tuple[NodeId, NodeId]]] = None,
     sample_pairs: Optional[int] = None,
     seed: SeedLike = 0,
+    plan: Optional["PlanLike"] = None,
+    metric=None,
 ) -> RoutingStats:
-    """Route packets for the given (or sampled) pairs and collect stats.
+    """Route packets for the planned (or given/sampled) pairs and collect
+    stats.
 
     ``distance_matrix`` supplies the true shortest-path distances used to
-    compute stretch.
+    compute stretch.  Pair selection, in precedence order: explicit
+    ``pairs``; a query ``plan`` (see :mod:`repro.engine.plans`); the
+    legacy ``sample_pairs``/``seed`` uniform sample (bit-for-bit the
+    historical behaviour at equal seeds); otherwise every ordered pair.
+    Distance-aware plans (stratified) need the underlying
+    :class:`~repro.metrics.base.MetricSpace` passed as ``metric``.  The
+    evaluation itself runs on the batched engine either way.
     """
+    from repro.engine import AllPairsPlan, evaluate_routing
+
     n = scheme.graph.n
-    if pairs is None:
-        all_pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
-        if sample_pairs is not None and sample_pairs < len(all_pairs):
-            rng = ensure_rng(seed)
-            idx = rng.choice(len(all_pairs), size=sample_pairs, replace=False)
-            pairs = [all_pairs[i] for i in idx]
-        else:
-            pairs = all_pairs
-    pairs = list(pairs)
-
-    stretches: List[float] = []
-    delivered = 0
-    max_hops = 0
-    max_header = 0
-    for u, v in pairs:
-        result = scheme.route(u, v)
-        max_header = max(max_header, result.header_bits)
-        if result.reached:
-            delivered += 1
-            true_d = float(distance_matrix[u, v])
-            routed = result.length(scheme.graph)
-            stretches.append(routed / true_d if true_d > 0 else 1.0)
-            max_hops = max(max_hops, result.hops)
-
-    return RoutingStats(
-        pairs=len(pairs),
-        delivered=delivered,
-        max_stretch=max(stretches) if stretches else float("inf"),
-        mean_stretch=float(np.mean(stretches)) if stretches else float("inf"),
-        max_hops=max_hops,
-        max_header_bits=max_header,
-        max_table_bits=scheme.max_table_bits(),
-        max_label_bits=scheme.max_label_bits(),
-        stretches=stretches,
-    )
+    if pairs is not None:
+        chosen: "PlanLike" = np.asarray(
+            pairs if isinstance(pairs, np.ndarray) else list(pairs), dtype=np.intp
+        ).reshape(-1, 2)
+    elif plan is not None:
+        chosen = plan
+    elif sample_pairs is not None and sample_pairs < n * (n - 1):
+        # Legacy sampling: index uniformly without replacement into the
+        # u-major ordered-pair enumeration, decoded arithmetically instead
+        # of via a materialized Θ(n²) list.
+        rng = ensure_rng(seed)
+        idx = np.asarray(rng.choice(n * (n - 1), size=sample_pairs, replace=False))
+        us = idx // (n - 1)
+        k = idx % (n - 1)
+        chosen = np.stack([us, k + (k >= us)], axis=1).astype(np.intp)
+    else:
+        chosen = AllPairsPlan()
+    return evaluate_routing(scheme, distance_matrix, chosen, metric=metric)

@@ -33,6 +33,20 @@ class GroupStructuresModel(SmallWorldModel):
         """Each node gets ``ceil(degree_factor · log2(n)^2)`` contact draws."""
         self.metric = metric
         self.degree_factor = degree_factor
+        # Model-owned sorted rows: π_u needs |B_v(d_uv)| for *every* v on
+        # every call, a cyclic access pattern that would evict-and-resort
+        # constantly in the metric's byte-bounded LRU.  This model is
+        # inherently dense (Θ(log² n) draws per node over all-pairs ball
+        # ranks), so it pins its own O(n²) store, like the dense
+        # structures it is compared against.
+        self._sorted_rows: dict[int, np.ndarray] = {}
+
+    def _sorted_row(self, v: NodeId) -> np.ndarray:
+        row = self._sorted_rows.get(v)
+        if row is None:
+            row = np.sort(self.metric.distances_from(v))
+            self._sorted_rows[v] = row
+        return row
 
     @property
     def draws_per_node(self) -> int:
@@ -42,14 +56,22 @@ class GroupStructuresModel(SmallWorldModel):
     def contact_probabilities(self, u: NodeId) -> np.ndarray:
         """π_u over all nodes (0 at u itself)."""
         metric = self.metric
+        n = metric.n
         row = metric.distances_from(u)
-        weights = np.zeros(metric.n)
-        for v in range(metric.n):
-            if v == u:
-                continue
-            d = float(row[v])
-            x_uv = min(metric.ball_size(u, d), metric.ball_size(v, d))
-            weights[v] = 1.0 / max(1, x_uv)
+        # |B_u(d_uv)| for every v in one batched searchsorted; |B_v(d_uv)|
+        # is a per-node O(log n) lookup against the model-owned sorted rows.
+        counts_u = np.searchsorted(self._sorted_row(u), row, side="right")
+        counts_v = np.fromiter(
+            (
+                np.searchsorted(self._sorted_row(int(v)), row[v], side="right")
+                for v in range(n)
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+        x_uv = np.minimum(counts_u, counts_v)
+        weights = 1.0 / np.maximum(1, x_uv)
+        weights[u] = 0.0
         total = weights.sum()
         if total <= 0:
             raise ValueError("degenerate metric: no other nodes")

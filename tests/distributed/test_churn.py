@@ -58,6 +58,12 @@ class TestChurn:
         sim._bootstrap(3)
         assert overlay.nodes[3].out_degree() > 0
 
+    def test_zero_quality_queries(self, metric):
+        overlay = MeridianOverlay(metric, seed=0)
+        sim = ChurnSimulation(metric, overlay, churn_rate=0.1, seed=8)
+        report = sim.run_epoch(0, quality_queries=0)
+        assert report.replaced_nodes > 0  # epoch still ran
+
     def test_rejects_bad_rate(self, metric):
         overlay = MeridianOverlay(metric, seed=0)
         with pytest.raises(ValueError):

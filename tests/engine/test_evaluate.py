@@ -1,0 +1,134 @@
+"""Batched evaluation drivers and the api.evaluate facade."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.engine import (
+    AllPairsPlan,
+    UniformSamplePlan,
+    bulk_estimates,
+    evaluate_estimator,
+    evaluate_routing,
+)
+from repro.routing.base import evaluate_scheme
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return api.build_workload("hypercube", n=48, dim=2, seed=21)
+
+
+@pytest.fixture(scope="module")
+def beacons(workload):
+    return api.build("beacons", workload=workload, beacons=12, seed=2)
+
+
+class TestEvaluateEstimator:
+    def test_matches_per_pair_loop(self, workload, beacons):
+        metric = workload.metric
+        plan = UniformSamplePlan(size=250, seed=4)
+        report = evaluate_estimator(beacons.inner, metric, plan)
+        pairs = plan.pairs(metric)
+        rels = []
+        for u, v in pairs:
+            d = metric.distance(int(u), int(v))
+            est = beacons.inner.estimate(int(u), int(v))
+            if d > 0 and np.isfinite(est):
+                rels.append(abs(est - d) / d)
+        assert report.evaluated == len(rels)
+        assert report.max_relative_error == pytest.approx(max(rels))
+        assert report.mean_relative_error == pytest.approx(float(np.mean(rels)))
+
+    def test_estimate_many_agrees_with_scalar(self, beacons):
+        pairs = UniformSamplePlan(size=150, seed=7).pairs(beacons.workload.metric)
+        batched = beacons.inner.estimate_many(pairs[:, 0], pairs[:, 1])
+        scalar = np.array(
+            [beacons.inner.estimate(int(u), int(v)) for u, v in pairs]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_bulk_estimates_fallback_loop(self, workload):
+        metric = workload.metric
+        pairs = np.array([[0, 1], [2, 3]], dtype=np.intp)
+        got = bulk_estimates(lambda u, v: metric.distance(u, v), pairs)
+        assert got == pytest.approx(metric.pairwise(pairs))
+
+    def test_empty_plan(self, workload, beacons):
+        report = evaluate_estimator(beacons.inner, workload.metric, [])
+        assert report.pairs == 0 and report.evaluated == 0
+
+
+class TestEvaluateRouting:
+    @pytest.fixture(scope="class")
+    def routed(self):
+        return api.build("route-thm2.1", workload="knn-graph", n=40, seed=5)
+
+    def test_matches_evaluate_scheme_on_equal_pairs(self, routed):
+        pairs = UniformSamplePlan(size=120, seed=9).pairs(routed.inner.graph.n)
+        via_plan = evaluate_routing(routed.inner, routed._matrix, pairs)
+        via_legacy = evaluate_scheme(routed.inner, routed._matrix, pairs=pairs)
+        assert via_plan.pairs == via_legacy.pairs
+        assert via_plan.delivered == via_legacy.delivered
+        assert via_plan.max_stretch == via_legacy.max_stretch
+        assert via_plan.mean_stretch == via_legacy.mean_stretch
+        assert via_plan.stretches == via_legacy.stretches
+
+    def test_all_pairs_plan_equals_exhaustive(self, routed):
+        via_plan = evaluate_scheme(routed.inner, routed._matrix, plan=AllPairsPlan())
+        exhaustive = evaluate_scheme(routed.inner, routed._matrix)
+        assert via_plan.pairs == exhaustive.pairs
+        assert via_plan.stretches == exhaustive.stretches
+
+    def test_stratified_plan_with_metric(self, routed):
+        from repro.engine import StratifiedPlan
+
+        stats = evaluate_scheme(
+            routed.inner, routed._matrix,
+            plan=StratifiedPlan(per_scale=8, seed=2),
+            metric=routed.workload.metric,
+        )
+        assert stats.pairs > 0 and stats.delivered == stats.pairs
+
+
+class TestFacadeEvaluate:
+    def test_estimator_by_name(self, beacons):
+        stats = api.evaluate(beacons, "uniform", size=100, seed=3)
+        assert stats["sampled_pairs"] > 0
+        assert stats["max_stretch"] >= 1.0
+
+    def test_plan_config(self, beacons):
+        cfg = api.PlanConfig(kind="uniform", pairs=100, seed=3)
+        assert api.evaluate(beacons, cfg) == api.evaluate(
+            beacons, "uniform", size=100, seed=3
+        )
+        with pytest.raises(ValueError):
+            api.evaluate(beacons, cfg, size=5)
+
+    def test_plan_config_validates(self):
+        with pytest.raises(ValueError):
+            api.PlanConfig(kind="nope")
+        with pytest.raises(ValueError):
+            api.PlanConfig(pairs=0)
+
+    def test_routing_scheme(self):
+        routed = api.build("route-trivial", workload="knn-graph", n=24, seed=1)
+        stats = api.evaluate(routed, "uniform", size=60, seed=2)
+        assert stats["delivery_rate"] == 1.0
+        assert stats["max_stretch"] == pytest.approx(1.0)
+
+    def test_smallworld_scheme(self):
+        sw = api.build("sw-5.2a", workload="hypercube", n=32, seed=3)
+        stats = api.evaluate(sw, "uniform", size=50, seed=4)
+        assert stats["queries"] == 50
+        assert 0 <= stats["completion_rate"] <= 1
+
+    def test_meridian_scheme(self):
+        mer = api.build("meridian", workload="internet", n=40, seed=6)
+        stats = api.evaluate(mer, "uniform", size=40, seed=7)
+        assert stats["queries"] == 40
+        assert stats["mean_approximation"] >= 1.0
+
+    def test_stratified_on_estimator(self, beacons):
+        stats = api.evaluate(beacons, "stratified", per_scale=8, seed=1)
+        assert stats["sampled_pairs"] > 0

@@ -1,0 +1,124 @@
+"""Query plans: shape, determinism, and registry behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.engine import (
+    PLANS,
+    AllPairsPlan,
+    StratifiedPlan,
+    UniformSamplePlan,
+    make_plan,
+    resolve_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return api.build_workload("hypercube", n=40, dim=2, seed=9).metric
+
+
+class TestAllPairsPlan:
+    def test_ordered_matches_legacy_enumeration(self):
+        n = 7
+        expected = [(u, v) for u in range(n) for v in range(n) if u != v]
+        got = AllPairsPlan().pairs(n)
+        assert [(int(u), int(v)) for u, v in got] == expected
+
+    def test_unordered_is_upper_triangle(self):
+        got = AllPairsPlan(ordered=False).pairs(6)
+        assert got.shape == (15, 2)
+        assert np.all(got[:, 0] < got[:, 1])
+
+    def test_accepts_metric_or_n(self, metric):
+        assert np.array_equal(
+            AllPairsPlan().pairs(metric), AllPairsPlan().pairs(metric.n)
+        )
+
+    def test_tiny_universe(self):
+        assert AllPairsPlan().pairs(1).shape == (0, 2)
+
+
+class TestUniformSamplePlan:
+    def test_seed_deterministic(self, metric):
+        a = UniformSamplePlan(size=200, seed=5).pairs(metric)
+        b = UniformSamplePlan(size=200, seed=5).pairs(metric)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self, metric):
+        a = UniformSamplePlan(size=200, seed=5).pairs(metric)
+        b = UniformSamplePlan(size=200, seed=6).pairs(metric)
+        assert not np.array_equal(a, b)
+
+    def test_pairs_distinct_and_offdiagonal(self, metric):
+        pairs = UniformSamplePlan(size=300, seed=1).pairs(metric)
+        assert pairs.shape == (300, 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+        assert np.all(pairs >= 0) and np.all(pairs < metric.n)
+        keys = set(map(tuple, pairs.tolist()))
+        assert len(keys) == 300  # no duplicates
+
+    def test_degrades_to_all_pairs(self):
+        pairs = UniformSamplePlan(size=10**6, seed=0).pairs(5)
+        assert pairs.shape == (20, 2)
+
+    def test_size_validates(self):
+        with pytest.raises(ValueError):
+            UniformSamplePlan(size=0)
+
+
+class TestStratifiedPlan:
+    def test_seed_deterministic(self, metric):
+        a = StratifiedPlan(per_scale=16, seed=3).pairs(metric)
+        b = StratifiedPlan(per_scale=16, seed=3).pairs(metric)
+        assert np.array_equal(a, b)
+
+    def test_covers_multiple_scales(self, metric):
+        pairs = StratifiedPlan(per_scale=16, seed=3).pairs(metric)
+        base = metric.min_distance()
+        d = metric.pairwise(pairs)
+        scales = set(
+            0 if x <= base else int(np.ceil(np.log2(x / base))) for x in d
+        )
+        assert len(scales) >= 3  # hits near, mid and far annuli
+
+    def test_respects_per_scale_cap(self, metric):
+        pairs = StratifiedPlan(per_scale=4, seed=3).pairs(metric)
+        base = metric.min_distance()
+        d = metric.pairwise(pairs)
+        buckets = {}
+        for x in d:
+            j = 0 if x <= base else int(np.ceil(np.log2(x / base)))
+            buckets[j] = buckets.get(j, 0) + 1
+        assert max(buckets.values()) <= 4
+
+    def test_needs_metric(self):
+        with pytest.raises(TypeError):
+            StratifiedPlan().pairs(64)
+
+
+class TestRegistryAndHelpers:
+    def test_registered_names(self):
+        for name in ("all-pairs", "uniform", "stratified"):
+            assert name in PLANS
+
+    def test_make_plan_by_name(self):
+        plan = make_plan("uniform", size=7, seed=2)
+        assert isinstance(plan, UniformSamplePlan) and plan.size == 7
+
+    def test_make_plan_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="uniform"):
+            make_plan("bogus")
+
+    def test_make_plan_passthrough(self):
+        plan = AllPairsPlan()
+        assert make_plan(plan) is plan
+        with pytest.raises(ValueError):
+            make_plan(plan, size=3)
+
+    def test_resolve_pairs_coerces_sequences(self, metric):
+        explicit = [(0, 1), (2, 3)]
+        got = resolve_pairs(explicit, metric)
+        assert got.shape == (2, 2) and got.dtype == np.intp
+        assert np.array_equal(got, np.asarray(explicit))

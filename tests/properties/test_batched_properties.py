@@ -1,0 +1,114 @@
+"""Batched metric queries agree with per-pair ``distance`` everywhere.
+
+The engine leans on ``distances_between`` / ``pairwise`` being drop-in
+replacements for ``distance`` loops; these properties pin that down for
+every registered workload (covering the euclidean, matrix and
+shortest-path metric backends plus the generic base implementation) and
+for the codec's vectorized roundtrip.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.labeling.encoding import DistanceCodec
+from repro.metrics.base import MetricSpace, RowCache
+
+ALL_WORKLOADS = sorted(api.workload_names())
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return {
+        name: api.build_workload(name, n=20, seed=11).metric
+        for name in ALL_WORKLOADS
+    }
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestBatchedAgreesWithScalar:
+    def test_distances_between_matches_distance(self, metrics, name):
+        metric = metrics[name]
+        rng = np.random.default_rng(3)
+        us = rng.integers(0, metric.n, size=7)
+        vs = rng.integers(0, metric.n, size=9)
+        block = metric.distances_between(us, vs)
+        assert block.shape == (7, 9)
+        for i, u in enumerate(us):
+            for j, v in enumerate(vs):
+                assert block[i, j] == pytest.approx(
+                    metric.distance(int(u), int(v)), rel=1e-12, abs=1e-12
+                )
+
+    def test_pairwise_matches_distance(self, metrics, name):
+        metric = metrics[name]
+        rng = np.random.default_rng(5)
+        pairs = rng.integers(0, metric.n, size=(40, 2))
+        got = metric.pairwise(pairs)
+        for k, (u, v) in enumerate(pairs):
+            assert got[k] == pytest.approx(
+                metric.distance(int(u), int(v)), rel=1e-12, abs=1e-12
+            )
+
+    def test_pairwise_zero_on_diagonal(self, metrics, name):
+        metric = metrics[name]
+        pairs = np.stack([np.arange(metric.n), np.arange(metric.n)], axis=1)
+        assert np.allclose(metric.pairwise(pairs), 0.0)
+
+    def test_empty_batches(self, metrics, name):
+        metric = metrics[name]
+        assert metric.pairwise(np.empty((0, 2), dtype=int)).shape == (0,)
+        assert metric.distances_between([], []).shape == (0, 0)
+
+
+class TestRowCache:
+    def test_eviction_keeps_results_correct(self):
+        # A budget of ~3 rows forces constant eviction; every query must
+        # still be answered correctly from recomputed rows.
+        metric = api.build_workload("hypercube", n=64, seed=2).metric
+        reference = np.array(
+            [[metric.distance(u, v) for v in range(8)] for u in range(8)]
+        )
+        small = RowCache(budget_bytes=3 * 64 * 8)
+        metric._sorted_rows = small
+        for u in range(64):
+            metric.ball_size(u, 0.5)  # touch every node: evictions happen
+        assert len(small) <= 3 + 1
+        block = metric.distances_between(np.arange(8), np.arange(8))
+        assert np.allclose(block, reference)
+
+    def test_budget_bounds_bytes(self):
+        cache = RowCache(budget_bytes=1000)
+        for key in range(50):
+            cache.put(key, np.zeros(16))  # 128 bytes each
+        assert cache.nbytes <= 1000
+        assert len(cache) < 50
+
+    def test_always_keeps_latest_row(self):
+        cache = RowCache(budget_bytes=8)
+        row = np.zeros(100)
+        cache.put(0, row)
+        assert cache.get(0) is row
+
+    def test_evicted_reference_stays_valid(self):
+        cache = RowCache(budget_bytes=900)
+        first = cache.put(0, np.arange(16.0))
+        cache.put(1, np.zeros(100))  # evicts key 0
+        assert cache.get(0) is None
+        assert np.array_equal(first, np.arange(16.0))
+
+
+class TestCodecRoundtripMany:
+    @pytest.mark.parametrize("mantissa_bits", [4, 8, 12])
+    def test_matches_scalar_roundtrip(self, mantissa_bits):
+        rng = np.random.default_rng(7)
+        codec = DistanceCodec(0.01, 100.0, mantissa_bits)
+        ds = np.concatenate([[0.0, 0.01, 100.0], rng.uniform(0.01, 100.0, 200)])
+        batched = codec.roundtrip_many(ds)
+        scalar = np.array([codec.roundtrip(float(d)) for d in ds])
+        assert np.array_equal(batched, scalar)
+
+    def test_rejects_negative(self):
+        codec = DistanceCodec(0.5, 2.0, 6)
+        with pytest.raises(ValueError):
+            codec.roundtrip_many(np.array([-1.0]))
