@@ -5,80 +5,83 @@ We regenerate it two ways:
 
 1. **As a picture**: an ASCII rendering from a declared dependency map
    (written to benchmarks/results/fig1.txt).
-2. **As an executable claim**: each arrow is realized by actually feeding
-   one construction's artifact into the next on a shared workload — if an
-   arrow is wrong, this bench fails.
+2. **As an executable claim**: the declarative ``fig1`` suite builds
+   every arrow's downstream artifact on one shared workload and
+   evaluates it over a common plan — each arrow cites the cell metric
+   that witnesses its artifact is consumable, and a wrong arrow fails
+   this bench.
 """
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from benchmarks.conftest import record_table
+from repro.experiments import get_suite, run, run_cell
 
-#: arrow: (from, to, how the code realizes it)
+#: arrow: (from, to, how the code realizes it, witnessing suite cell)
 FLOW = [
-    ("rings of neighbors", "Thm 2.1 basic routing", "repro.core.rings -> repro.routing.ring_scheme"),
-    ("rings of neighbors", "Thm 3.2 triangulation", "repro.core.rings -> repro.labeling.triangulation"),
-    ("rings of neighbors", "Thm 5.2 small worlds", "repro.core.rings -> repro.smallworld"),
-    ("Thm 2.1 basic routing", "Thm 3.4 distance labeling", "zooming sequences + host enumerations reused"),
-    ("Thm 3.2 triangulation", "Thm 3.4 distance labeling", "X/Y neighbor scales reused (ScaleStructure)"),
-    ("Thm 3.4 distance labeling", "Thm 4.1 simple routing", "labels used as a black box"),
-    ("Thm 3.4 distance labeling", "Thm 4.2 two-mode routing", "techniques imported (virtual enumerations)"),
-    ("Thm 2.1 basic routing", "Thm 4.2 two-mode routing", "intermediate targets + first-hop pointers"),
-    ("simple O(log D)-hop paths", "Thm 5.2(a) small world", "Y-type rings upgraded with X-type rings"),
-    ("Thm 5.2(a) small world", "Thm 5.2(b) small world", "pruned rings + non-greedy step (**)"),
+    ("rings of neighbors", "Thm 2.1 basic routing", "repro.core.rings -> repro.routing.ring_scheme", "thm2.1"),
+    ("rings of neighbors", "Thm 3.2 triangulation", "repro.core.rings -> repro.labeling.triangulation", "thm3.2"),
+    ("rings of neighbors", "Thm 5.2 small worlds", "repro.core.rings -> repro.smallworld", "thm5.2a"),
+    ("Thm 2.1 basic routing", "Thm 3.4 distance labeling", "zooming sequences + host enumerations reused", "thm3.4"),
+    ("Thm 3.2 triangulation", "Thm 3.4 distance labeling", "X/Y neighbor scales reused (ScaleStructure)", "thm3.4"),
+    ("Thm 3.4 distance labeling", "Thm 4.1 simple routing", "labels used as a black box", "thm4.1"),
+    ("Thm 3.4 distance labeling", "Thm 4.2 two-mode routing", "techniques imported (virtual enumerations)", "thm4.2"),
+    ("Thm 2.1 basic routing", "Thm 4.2 two-mode routing", "intermediate targets + first-hop pointers", "thm4.2"),
+    ("simple O(log D)-hop paths", "Thm 5.2(a) small world", "Y-type rings upgraded with X-type rings", "thm5.2a"),
+    ("Thm 5.2(a) small world", "Thm 5.2(b) small world", "pruned rings + non-greedy step (**)", "thm5.2b"),
 ]
 
 
 def _render_ascii() -> str:
     lines = ["Figure 1 (regenerated): arrows indicate the flow of ideas", ""]
-    for src, dst, how in FLOW:
+    for src, dst, how, _cell in FLOW:
         lines.append(f"  {src:<28s} --> {dst:<28s} [{how}]")
     return "\n".join(lines)
 
 
-def test_fig1_diagram_and_arrows(benchmark, results_dir):
+@pytest.fixture(scope="module")
+def fig1_results():
+    return run(get_suite("fig1"))
+
+
+def _witness(result) -> str:
+    """The cell metric that proves the arrow's artifact works."""
+    metrics = result.metrics
+    if "max_stretch" in metrics and "delivery_rate" in metrics:
+        assert metrics["delivery_rate"] == 1.0, result.title
+        assert metrics["max_stretch"] < math.inf, result.title
+        return f"delivery={metrics['delivery_rate']:.0%}"
+    if "max_stretch" in metrics:  # estimator: D+ >= d on every pair
+        assert metrics["mean_stretch"] >= 1.0 - 1e-9, result.title
+        assert metrics["max_relative_error"] < math.inf, result.title
+        return f"max D+/d={metrics['max_stretch']:.3f}"
+    assert metrics["completion_rate"] >= 0.95, result.title
+    return f"completion={metrics['completion_rate']:.0%}"
+
+
+def test_fig1_diagram_and_arrows(benchmark, results_dir, fig1_results):
     text = _render_ascii()
     (results_dir / "fig1.txt").write_text(text + "\n")
     print("\n" + text)
 
-    # Executable arrows on one tiny shared workload.
-    from repro import api
-    from repro.labeling import RingDLS, RingTriangulation
-    from repro.labeling._scales import ScaleStructure
-    from repro.routing import LabelRouting, RingRouting, TwoModeRouting
-    from repro.smallworld import GreedyRingsModel, PrunedRingsModel, evaluate_model
+    by_label = {r.label: r for r in fig1_results}
+    assert by_label["thm5.2a"].metric("completion_rate") == 1.0
 
-    workload = api.build_workload("knn-graph", n=40, k=4, seed=60)
-    graph, metric = workload.graph, workload.metric
+    rows = []
+    for src, dst, how, cell in FLOW:
+        rows.append((src, dst, how, _witness(by_label[cell])))
 
-    def build_all():
-        scales = ScaleStructure(metric, delta=0.3)  # rings of neighbors
-        tri = RingTriangulation(metric, delta=0.3, scales=scales)  # -> Thm 3.2
-        dls = RingDLS(metric, delta=0.3, scales=scales)  # Thm 3.2 -> Thm 3.4
-        ring_routing = RingRouting(graph, delta=0.3, metric=metric)  # -> Thm 2.1
-        label_routing = LabelRouting(  # Thm 3.4 -> Thm 4.1 (black box)
-            graph, delta=0.3, estimator="triangulation", metric=metric
-        )
-        twomode = TwoModeRouting(graph, delta=0.3, metric=metric)  # -> Thm 4.2
-        return tri, dls, ring_routing, label_routing, twomode
-
-    tri, dls, ring_routing, label_routing, twomode = benchmark(build_all)
-
-    # Each arrow's artifact is actually consumable downstream.
-    assert tri.estimate(0, 39) >= metric.distance(0, 39) - 1e-9
-    assert dls.estimate(0, 39) >= metric.distance(0, 39) - 1e-9
-    for scheme in (ring_routing, label_routing, twomode):
-        assert scheme.route(0, 39).reached
-    sw = evaluate_model(GreedyRingsModel(metric, c=2), sample_queries=60, seed=0)
-    assert sw.completion_rate == 1.0
-    swb = evaluate_model(PrunedRingsModel(metric, c=2), sample_queries=60, seed=0)
-    assert swb.completion_rate >= 0.95
+    # One arrow's cell re-executed end to end off the warm build cache.
+    tri_cell = next(c for c in get_suite("fig1").cells() if c.label == "thm3.2")
+    benchmark(lambda: run_cell(tri_cell))
 
     record_table(
         "fig1_arrows",
-        "Figure 1 arrows, executed",
-        ["from", "to", "realized by"],
-        FLOW,
+        "Figure 1 arrows, executed (witness metric from the fig1 suite cell)",
+        ["from", "to", "realized by", "witness"],
+        rows,
     )

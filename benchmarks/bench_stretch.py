@@ -3,6 +3,11 @@
 Claim 2.5 promises stretch 1 + O(δ).  We sweep δ and report measured
 max/mean stretch plus the ring cardinality K (the paper's (16/δ)^α),
 whose growth as δ shrinks is the storage price of tighter stretch.
+
+The sweep is the declarative ``stretch`` suite (one route-thm2.1 scheme
+per δ over a shared kNN workload, a shared 400-pair plan, and the
+``ring-cardinality`` probe), so ``repro run stretch`` regenerates the
+identical artifact.
 """
 
 from __future__ import annotations
@@ -11,42 +16,40 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro import api
-from repro.engine import UniformSamplePlan
-from repro.routing import RingRouting, evaluate_scheme
+from repro.api import Workload
+from repro.experiments import get_suite, run
 
 DELTAS = (0.45, 0.3, 0.2, 0.1, 0.05)
 
-#: One engine plan shared by every delta: 400 seed-deterministic pairs.
-PLAN = UniformSamplePlan(size=400, seed=4)
-
 
 @pytest.fixture(scope="module")
-def workload():
-    instance = api.build_workload("knn-graph", n=96, k=4, seed=80)
-    return instance.graph, instance.metric
+def stretch_results():
+    return run(get_suite("stretch"))
 
 
-def test_stretch_vs_delta(benchmark, workload):
-    graph, metric = workload
+def test_stretch_vs_delta(benchmark, stretch_results):
     rows = []
-    schemes = {}
     for delta in DELTAS:
-        scheme = RingRouting(graph, delta=delta, metric=metric)
-        schemes[delta] = scheme
-        stats = evaluate_scheme(scheme, metric.matrix, plan=PLAN)
+        r = stretch_results.one(label=f"delta={delta}")
         rows.append(
             (
                 delta,
-                f"{stats.delivery_rate:.0%}",
-                f"{stats.max_stretch:.4f}",
-                f"{stats.mean_stretch:.4f}",
-                scheme.max_ring_cardinality(),
-                f"{stats.max_table_bits:,}",
+                f"{r.metric('delivery_rate'):.0%}",
+                f"{r.metric('max_stretch'):.4f}",
+                f"{r.metric('mean_stretch'):.4f}",
+                r.metric("max_ring_cardinality"),
+                f"{r.metric('max_table_bits'):,}",
             )
         )
-        assert stats.delivery_rate == 1.0
-        assert stats.max_stretch <= 1 + 4 * delta
-    benchmark(schemes[0.2].route, 0, 95)
+        assert r.metric("delivery_rate") == 1.0
+        assert r.metric("max_stretch") <= 1 + 4 * delta
+    fitted = api.build(
+        "route-thm2.1",
+        workload=Workload.make("knn-graph", n=96, k=4, seed=80),
+        seed=0,
+        config={"delta": 0.2},
+    )
+    benchmark(fitted.query, 0, 95)
     record_table(
         "thm21_stretch",
         "Theorem 2.1: stretch vs delta (kNN graph, n=96)",

@@ -10,6 +10,10 @@ expecting the table's *shape*:
 * both beat the trivial scheme's Θ(n log Dout) tables asymptotically
   (at laptop n the theory constants dominate — reported honestly);
 * all schemes deliver everything with stretch ≤ 1 + O(δ).
+
+The rows come from the declarative ``table1`` suite — the same grid
+``repro run table1`` executes — so the pytest table, the CLI and the
+persisted ``table1.resultset.json`` are one code path.
 """
 
 from __future__ import annotations
@@ -18,49 +22,48 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro import api
-from repro.routing import LabelRouting, RingRouting, TrivialRouting, evaluate_scheme
+from repro.api import Workload
+from repro.experiments import get_suite, run
 
 DELTA = 0.25
 SIZES = (48, 96, 160)
+SCHEMES = ("trivial", "thm2.1", "thm4.1")
 
 
-def _workload(n: int):
-    workload = api.build_workload("knn-graph", n=n, k=4, seed=300 + n)
-    return workload.graph, workload.metric
+def _fitted(scheme: str, n: int):
+    """One scheme rebuilt off the suite's workload spec (cache-shared)."""
+    return api.build(
+        scheme,
+        workload=Workload.make("knn-graph", n=n, k=4, seed=300 + n),
+        seed=0,
+        config={"delta": DELTA},
+    )
 
 
 @pytest.fixture(scope="module")
-def table1_rows():
+def table1_results():
+    return run(get_suite("table1"))
+
+
+def test_table1_report(benchmark, table1_results):
     rows = []
-    schemes_by_n = {}
     for n in SIZES:
-        graph, metric = _workload(n)
-        schemes = {
-            "trivial": TrivialRouting(graph),
-            "thm2.1": RingRouting(graph, delta=DELTA, metric=metric),
-            "thm4.1": LabelRouting(
-                graph, delta=DELTA, estimator="triangulation", metric=metric
-            ),
-        }
-        schemes_by_n[n] = (metric, schemes)
-        for name, scheme in schemes.items():
-            stats = evaluate_scheme(scheme, metric.matrix, sample_pairs=400, seed=1)
+        for label in SCHEMES:
+            r = next(
+                res for res in table1_results.select(label=label)
+                if res.workload["n"] == n
+            )
             rows.append(
                 (
                     n,
-                    name,
-                    f"{stats.delivery_rate:.0%}",
-                    f"{stats.max_stretch:.3f}",
-                    f"{stats.max_table_bits:,}",
-                    f"{stats.max_header_bits:,}",
+                    label,
+                    f"{r.metric('delivery_rate'):.0%}",
+                    f"{r.metric('max_stretch'):.3f}",
+                    f"{r.metric('max_table_bits'):,}",
+                    f"{r.metric('max_header_bits'):,}",
                 )
             )
-    return rows, schemes_by_n
-
-
-def test_table1_report(benchmark, table1_rows):
-    rows, schemes_by_n = table1_rows
-    benchmark(schemes_by_n[48][1]["thm2.1"].route, 0, 47)
+    benchmark(_fitted("route-thm2.1", 48).query, 0, 47)
     record_table(
         "table1",
         "Table 1 reproduction: (1+d)-stretch routing schemes for doubling graphs",
@@ -75,7 +78,7 @@ def test_table1_report(benchmark, table1_rows):
     # Shape assertions.
     by = {(r[0], r[1]): r for r in rows}
     for n in SIZES:
-        for scheme in ("trivial", "thm2.1", "thm4.1"):
+        for scheme in SCHEMES:
             assert by[(n, scheme)][2] == "100%"
             assert float(by[(n, scheme)][3]) <= 1 + 4 * DELTA
     # Trivial table grows linearly with n; compact schemes grow slower
@@ -86,15 +89,24 @@ def test_table1_report(benchmark, table1_rows):
     assert triv_growth >= 2.5  # ~160/48
 
 
-@pytest.mark.parametrize("scheme_name", ["trivial", "thm2.1", "thm4.1"])
-def test_route_latency(benchmark, table1_rows, scheme_name):
-    """pytest-benchmark timing of a single routed packet (n=96)."""
-    _rows, schemes_by_n = table1_rows
-    metric, schemes = schemes_by_n[96]
-    scheme = schemes[scheme_name]
+def test_table1_persisted_roundtrip(table1_results):
+    """The persisted artifact reloads equal to the in-memory ResultSet."""
+    from repro.experiments import ResultSet
 
-    def run():
-        result = scheme.route(0, 95)
+    path = table1_results.default_path()
+    assert path.exists()
+    assert ResultSet.load(path) == table1_results
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ["route-trivial", "route-thm2.1", "route-thm4.1"]
+)
+def test_route_latency(benchmark, table1_results, scheme_name):
+    """pytest-benchmark timing of a single routed packet (n=96)."""
+    fitted = _fitted(scheme_name, 96)
+
+    def runner():
+        result = fitted.query(0, 95)
         assert result.reached
 
-    benchmark(run)
+    benchmark(runner)

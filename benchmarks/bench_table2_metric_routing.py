@@ -5,6 +5,10 @@ out-degree joins table/header size as a quality column.  Measured for the
 Theorem 2.1 rings overlay on a polynomial-aspect-ratio metric and on the
 exponential line (Δ = 2^Θ(n)), where the (log Δ)-type columns blow up —
 the regime Theorems 4.1/4.2 target (their rows use the scale overlay).
+
+The rows come from the declarative ``table2`` suite (schemes ×
+workloads × one sampled plan, with an ``overlay-out-degree`` probe), so
+``repro run table2`` regenerates the identical artifact.
 """
 
 from __future__ import annotations
@@ -13,63 +17,41 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro import api
-from repro.routing import MetricRouting, RingRouting, evaluate_scheme
-from repro.routing.label_scheme import LabelRouting
-from repro.routing.twomode import TwoModeRouting
+from repro.experiments import get_suite, run
 
 DELTA = 0.25
 
+WORKLOAD_TITLES = {"hypercube": "hypercube(96)", "expline": "expline(64)"}
+
 
 @pytest.fixture(scope="module")
-def workloads():
-    return {
-        "hypercube(96)": api.build_workload("hypercube", n=96, dim=2, seed=41).metric,
-        "expline(64)": api.build_workload("expline", n=64).metric,
-    }
+def table2_results():
+    return run(get_suite("table2"))
 
 
-def _schemes(metric):
-    yield "thm2.1-overlay", MetricRouting(
-        metric, DELTA, scheme_factory=lambda g, d: RingRouting(g, d), style="net"
-    )
-    yield "thm4.1-overlay", MetricRouting(
-        metric,
-        DELTA,
-        scheme_factory=lambda g, d: LabelRouting(g, d, estimator="triangulation"),
-        style="scale",
-    )
-    yield "thm4.2-overlay", MetricRouting(
-        metric,
-        DELTA,
-        scheme_factory=lambda g, d: TwoModeRouting(g, d),
-        style="scale",
-    )
-
-
-def test_table2_report(benchmark, workloads):
+def test_table2_report(benchmark, table2_results):
     rows = []
-    first_scheme = None
-    for wname, metric in workloads.items():
-        for sname, scheme in _schemes(metric):
-            if first_scheme is None:
-                first_scheme = scheme
-            stats = evaluate_scheme(
-                scheme, scheme.stretch_matrix(), sample_pairs=250, seed=2
+    for r in table2_results:
+        wname = WORKLOAD_TITLES[r.workload["workload"]]
+        rows.append(
+            (
+                wname,
+                r.label,
+                r.metric("out_degree"),
+                f"{r.metric('delivery_rate'):.0%}",
+                f"{r.metric('max_stretch'):.3f}",
+                f"{r.metric('max_table_bits'):,}",
+                f"{r.metric('max_header_bits'):,}",
             )
-            rows.append(
-                (
-                    wname,
-                    sname,
-                    scheme.out_degree(),
-                    f"{stats.delivery_rate:.0%}",
-                    f"{stats.max_stretch:.3f}",
-                    f"{stats.max_table_bits:,}",
-                    f"{stats.max_header_bits:,}",
-                )
-            )
-            assert stats.delivery_rate == 1.0, (wname, sname)
-            assert stats.max_stretch <= 1 + 5 * DELTA, (wname, sname)
-    benchmark(first_scheme.route, 0, 1)
+        )
+        assert r.metric("delivery_rate") == 1.0, r.title
+        assert r.metric("max_stretch") <= 1 + 5 * DELTA, r.title
+    fitted = api.build(
+        "route-thm2.1", workload="hypercube", n=96, seed=41,
+        workload_params={"dim": 2},
+        config={"delta": DELTA, "overlay_style": "net"},
+    )
+    benchmark(fitted.query, 0, 1)
     record_table(
         "table2",
         "Table 2 reproduction: (1+d)-stretch routing schemes for doubling metrics",

@@ -4,6 +4,11 @@ Appendix B's Table 3 decomposes the Theorem 4.2 space requirements by
 routing mode.  We build the scheme on a doubling graph and on a gap graph
 (exponential-weight path, the Lemma B.5 regime) and report the measured
 split, plus how often packets actually switch to M2.
+
+The rows come from the declarative ``table3`` suite: one route-thm4.2
+scheme over both workloads with the ``twomode-split`` probe measuring
+the per-mode decomposition, so ``repro run table3`` regenerates the
+identical artifact.
 """
 
 from __future__ import annotations
@@ -12,62 +17,41 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro import api
-from repro.routing import TwoModeRouting, evaluate_scheme
+from repro.api import Workload
+from repro.experiments import get_suite, run
 
 DELTA = 0.2
 
-
-def _twomode(workload_name: str, n: int, **params) -> TwoModeRouting:
-    workload = api.build_workload(workload_name, n=n, **params)
-    return TwoModeRouting(workload.graph, delta=DELTA, metric=workload.metric)
+WORKLOAD_TITLES = {"knn-graph": "knn(64)", "gap-path": "gap-path(40)"}
 
 
 @pytest.fixture(scope="module")
-def schemes():
-    return {
-        "knn(64)": _twomode("knn-graph", 64, k=4, seed=50),
-        "gap-path(40)": _twomode("gap-path", 40),
-    }
+def table3_results():
+    return run(get_suite("table3"))
 
 
-def test_table3_report(benchmark, schemes):
+def test_table3_report(benchmark, table3_results):
     rows = []
-    for name, scheme in schemes.items():
-        n = scheme.graph.n
-        m1 = m2 = 0
-        for u in range(n):
-            account = scheme.table_bits(u)
-            m1 = max(
-                m1,
-                sum(b for k, b in account.components.items() if k.startswith("m1_")),
-            )
-            m2 = max(
-                m2,
-                sum(b for k, b in account.components.items() if k.startswith("m2_")),
-            )
-        stats = evaluate_scheme(scheme, scheme.metric.matrix, sample_pairs=250, seed=3)
-        switches = sum(
-            scheme.route(u, v).mode_switches
-            for u in range(0, n, max(1, n // 8))
-            for v in range(n)
-            if u != v
-        )
-        total_pairs = sum(
-            1 for u in range(0, n, max(1, n // 8)) for v in range(n) if u != v
-        )
+    for r in table3_results:
         rows.append(
             (
-                name,
-                f"{m1:,}",
-                f"{m2:,}",
-                f"{scheme._header_bits_m1(scheme.labels[0]):,}",
-                f"{scheme._header_bits_m2():,}",
-                f"{switches}/{total_pairs}",
-                f"{stats.max_stretch:.3f}",
+                WORKLOAD_TITLES[r.workload["workload"]],
+                f"{r.metric('m1_table_bits'):,}",
+                f"{r.metric('m2_table_bits'):,}",
+                f"{r.metric('m1_header_bits'):,}",
+                f"{r.metric('m2_header_bits'):,}",
+                f"{r.metric('m2_switches')}/{r.metric('switch_pairs')}",
+                f"{r.metric('max_stretch'):.3f}",
             )
         )
-        assert stats.delivery_rate == 1.0, name
-    benchmark(schemes["gap-path(40)"].route, 0, 39)
+        assert r.metric("delivery_rate") == 1.0, r.title
+    fitted = api.build(
+        "route-thm4.2",
+        workload=Workload.make("gap-path", n=40),
+        seed=0,
+        config={"delta": DELTA},
+    )
+    benchmark(fitted.query, 0, 39)
     record_table(
         "table3",
         "Table 3 reproduction: Theorem 4.2 space requirements by routing mode",
@@ -80,5 +64,5 @@ def test_table3_report(benchmark, schemes):
             "(Lemma B.5's regime) is where packets actually switch to M2."
         ),
     )
-    gap_row = rows[1]
-    assert int(gap_row[5].split("/")[0]) > 0  # M2 really engages on gaps
+    gap = table3_results.select(workload="gap-path")[0]
+    assert gap.metric("m2_switches") > 0  # M2 really engages on gaps

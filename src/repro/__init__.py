@@ -47,6 +47,10 @@ Subpackages
     grid and group-structures baselines.
 ``repro.meridian``
     The Meridian closest-node application layer [57].
+``repro.experiments``
+    Declarative experiment grids over the facade: frozen
+    ``ExperimentSpec``s, the (optionally parallel) runner, typed
+    persisted ``ResultSet``s, probes, and the named paper suites.
 """
 
 from repro import (

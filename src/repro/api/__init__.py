@@ -44,7 +44,7 @@ from repro.api.configs import (
     SmallWorldConfig,
     TriangulationConfig,
 )
-from repro.api.workloads import Workload, WorkloadInstance
+from repro.api.workloads import DEFAULT_N, Workload, WorkloadInstance
 from repro.api.schemes import FittedScheme, Scheme
 from repro.api.facade import (
     BuildCache,
@@ -75,6 +75,7 @@ __all__ = [
     "RoutingConfig",
     "SmallWorldConfig",
     "MeridianConfig",
+    "DEFAULT_N",
     "Workload",
     "WorkloadInstance",
     "Scheme",

@@ -22,7 +22,7 @@ from repro.rng import SeedLike
 
 from repro.api.registry import SCHEMES, WORKLOADS
 from repro.api.schemes import FittedScheme
-from repro.api.workloads import Workload, WorkloadInstance, realize
+from repro.api.workloads import DEFAULT_N, Workload, WorkloadInstance, realize
 
 WorkloadLike = Union[str, Workload, WorkloadInstance]
 
@@ -67,6 +67,7 @@ class BuildCache:
     def info(self) -> Dict[str, int]:
         return {
             "entries": len(self._instances),
+            "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
         }
@@ -98,6 +99,8 @@ def build_workload(
 
     ``build_workload("expline", n=64, base=1.7)`` builds (or fetches) the
     64-point exponential line; deterministic generators ignore ``seed``.
+    When ``n`` is omitted the instance size falls back to
+    :data:`DEFAULT_N` (= 96).
     """
     if isinstance(workload, WorkloadInstance):
         if n is not None or params:
@@ -110,7 +113,7 @@ def build_workload(
             raise ValueError("pass parameters via Workload.make, not both")
         spec = workload
     else:
-        spec = Workload.make(workload, n=96 if n is None else n, seed=seed, **params)
+        spec = Workload.make(workload, n=n, seed=seed, **params)
     return (cache or _DEFAULT_CACHE).instance(spec)
 
 

@@ -32,22 +32,44 @@ from repro.metrics.synthetic import (
 from repro.api.registry import WORKLOADS, register_workload
 from repro.core.rings import RingsOfNeighbors, cardinality_rings
 
+#: The instance size used when a caller does not pass ``n``.  Chosen so
+#: every workload/scheme combination builds in well under a second on a
+#: laptop; pass ``n`` explicitly for anything size-sensitive.  Surfaced
+#: as ``repro.api.DEFAULT_N`` and mentioned in size-validation errors.
+DEFAULT_N = 96
+
 
 @dataclass(frozen=True)
 class Workload:
     """A named workload plus parameters — hashable, so it is a cache key."""
 
     name: str
-    n: int = 96
+    n: int = DEFAULT_N
     seed: Optional[int] = 0
     #: extra generator parameters, stored sorted for stable hashing
     params: Tuple[Tuple[str, Any], ...] = ()
 
     @classmethod
     def make(
-        cls, name: str, n: int = 96, seed: Optional[int] = 0, **params: Any
+        cls,
+        name: str,
+        n: Optional[int] = None,
+        seed: Optional[int] = 0,
+        **params: Any,
     ) -> "Workload":
         entry = WORKLOADS.get(name)  # validates the name early
+        defaulted = n is None
+        n = DEFAULT_N if defaulted else int(n)
+        if n < 2:
+            origin = (
+                f"defaulted from repro.api.DEFAULT_N = {DEFAULT_N}"
+                if defaulted
+                else "passed explicitly"
+            )
+            raise ValueError(
+                f"workload {name!r} needs n >= 2, got n={n} ({origin}); "
+                f"omit n to use DEFAULT_N = {DEFAULT_N}"
+            )
         defaults: Mapping[str, Any] = entry.meta["defaults"]
         unknown = set(params) - set(defaults)
         if unknown:
@@ -77,7 +99,9 @@ class Workload:
     def from_dict(cls, data: Mapping[str, Any]) -> "Workload":
         data = dict(data)
         name = data.pop("workload")
-        return cls.make(name, n=data.pop("n", 96), seed=data.pop("seed", 0), **data)
+        return cls.make(
+            name, n=data.pop("n", None), seed=data.pop("seed", 0), **data
+        )
 
 
 class WorkloadInstance:

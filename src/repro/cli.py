@@ -12,11 +12,17 @@ Commands mirror the paper's four problems plus workload inspection:
 * ``route``       — build a routing scheme (thm2.1 / thm4.1 / thm4.2 /
   trivial) on a doubling graph and route sampled packets;
 * ``smallworld``  — sample a small-world model (5.2a / 5.2b / 5.5 /
-  structures) and run queries.
+  structures) and run queries;
+* ``run``         — execute a declarative experiment grid (a named
+  suite or a spec JSON file) through :mod:`repro.experiments`;
+* ``results``     — list or diff persisted experiment result sets;
+* ``suites``      — list the named suites / regenerate EXPERIMENTS.md;
+* ``cache``       — show the facade build cache's entries/hits/misses.
 
 Everything is registry-driven: workloads come from
 ``repro.api.WORKLOADS`` (``--workload``), schemes from
-``repro.api.SCHEMES``, and one ``--seed`` flows through both the
+``repro.api.SCHEMES``, experiment suites from
+``repro.experiments.SUITES``, and one ``--seed`` flows through both the
 generator and every randomized construction, so equal seeds reproduce
 identical runs.
 """
@@ -24,7 +30,9 @@ identical runs.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -70,9 +78,12 @@ def _build_metric(args: argparse.Namespace):
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.api import DEFAULT_N
+
     parser.add_argument("--workload", default="hypercube",
                         choices=_metric_workload_names())
-    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--n", type=int, default=DEFAULT_N,
+                        help=f"instance size (default: api.DEFAULT_N = {DEFAULT_N})")
     parser.add_argument("--dim", type=int, default=2)
     parser.add_argument("--base", type=float, default=2.0,
                         help="exponential-line base")
@@ -221,6 +232,121 @@ def _cmd_smallworld(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec(target: str):
+    """A spec from a named suite or a ``.json`` spec file path."""
+    from repro.experiments import ExperimentSpec, get_suite
+
+    path = Path(target)
+    if target.endswith(".json") or path.is_file():
+        return ExperimentSpec.load(path)
+    return get_suite(target)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import default_results_dir, run
+
+    spec = _resolve_spec(args.target)
+    result_set = run(
+        spec,
+        processes=args.processes,
+        resume=args.resume,
+        out_dir=args.out,
+        persist=not args.no_persist,
+        verbose=not args.json,
+    )
+    if args.json:
+        text = result_set.to_json()
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+    else:
+        print(f"suite      {spec.name} ({len(result_set)} cells, "
+              f"spec {spec.spec_hash()})")
+        for result in result_set:
+            parts = []
+            for key, value in {**result.metrics, **result.probes}.items():
+                if isinstance(value, float):
+                    parts.append(f"{key}={value:.6g}")
+                elif isinstance(value, (int, bool)):
+                    parts.append(f"{key}={value}")
+            print(f"  {result.title:<36s} {'  '.join(parts)}")
+        if not args.no_persist:
+            print(f"persisted  {result_set.default_path(args.out)}")
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultSet, default_results_dir
+    from repro.experiments.results import RESULTSET_SUFFIX
+
+    out = Path(args.out) if args.out else default_results_dir()
+    if args.diff:
+        a, b = (ResultSet.load(_results_path(out, t)) for t in args.diff)
+        diff = a.diff(b)
+        if not (diff["only_self"] or diff["only_other"] or diff["changed"]):
+            print("result sets agree on every shared cell metric")
+            return 0
+        for entry in diff["only_self"]:
+            print(f"only in {args.diff[0]}: {entry['title']}  [{entry['key']}]")
+        for entry in diff["only_other"]:
+            print(f"only in {args.diff[1]}: {entry['title']}  [{entry['key']}]")
+        for key, entry in diff["changed"].items():
+            print(f"{entry['title']}  [{key}]")
+            for name, pair in entry["metrics"].items():
+                print(f"  {name:<24s} {pair['self']!r} -> {pair['other']!r}")
+        return 1
+    found = sorted(out.glob(f"*{RESULTSET_SUFFIX}")) if out.is_dir() else []
+    if not found:
+        print(f"no persisted result sets under {out}")
+        return 0
+    for path in found:
+        try:
+            rs = ResultSet.load(path)
+        except (ValueError, KeyError, json.JSONDecodeError) as err:
+            # Surface broken artifacts (e.g. a save killed mid-write)
+            # instead of silently pretending they do not exist.
+            print(f"{path.name}: unreadable ({err})")
+            continue
+        prov = rs.provenance
+        print(f"{rs.spec.name:<14s} {len(rs):>3d} cells  "
+              f"spec {prov.get('spec_hash', '?'):<12s} "
+              f"git {str(prov.get('git', '?')):<16s} "
+              f"{prov.get('created', '')}")
+    return 0
+
+
+def _results_path(out: Path, target: str) -> Path:
+    """Resolve a ``results --diff`` operand: a path or a persisted name."""
+    from repro.experiments.results import RESULTSET_SUFFIX
+
+    path = Path(target)
+    if path.is_file():
+        return path
+    return out / f"{target}{RESULTSET_SUFFIX}"
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    from repro.experiments import SUITES, get_suite, render_index
+
+    if args.write_index:
+        Path(args.write_index).write_text(render_index() + "\n")
+        print(f"wrote {args.write_index}")
+        return 0
+    for name, entry in SUITES.items():
+        spec = get_suite(name)
+        print(f"{name:<14s} {len(spec.cells()):>3d} cells  {entry.summary}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro import api
+
+    for key, value in api.cache_info().items():
+        print(f"{key:<10s} {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,6 +398,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a scheme name from `repro list`")
     _add_plan_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_run = sub.add_parser(
+        "run", help="run an experiment grid (named suite or spec JSON)")
+    p_run.add_argument("target",
+                       help="a suite name from `repro suites` or a spec .json path")
+    p_run.add_argument("--out", default=None,
+                       help="results directory (default: benchmarks/results)")
+    p_run.add_argument("--processes", type=int, default=None,
+                       help="chunk-parallel across a process pool (>= 2)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="reuse cells from a previously persisted run")
+    p_run.add_argument("--no-persist", action="store_true",
+                       help="do not write <name>.resultset.json")
+    p_run.add_argument("--json", default=None, metavar="PATH",
+                       help="dump the full ResultSet JSON to PATH ('-' = stdout)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_results = sub.add_parser(
+        "results", help="list or diff persisted experiment result sets")
+    p_results.add_argument("--out", default=None,
+                           help="results directory (default: benchmarks/results)")
+    p_results.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                           help="compare two result sets (names or paths)")
+    p_results.set_defaults(func=_cmd_results)
+
+    p_suites = sub.add_parser(
+        "suites", help="list named experiment suites")
+    p_suites.add_argument("--write-index", default=None, metavar="PATH",
+                          help="regenerate the EXPERIMENTS.md index to PATH")
+    p_suites.set_defaults(func=_cmd_suites)
+
+    p_cache = sub.add_parser(
+        "cache", help="show the facade build cache's entries/hits/misses")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_sw = sub.add_parser("smallworld", help="searchable small worlds")
     _add_workload_arguments(p_sw)

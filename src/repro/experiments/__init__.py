@@ -1,0 +1,64 @@
+"""repro.experiments — declarative experiment grids over the facade.
+
+The paper's evaluation is a grid — schemes × workloads × plans × seeds —
+and this package expresses it as data instead of hand-rolled loops:
+
+>>> from repro import experiments
+>>> spec = experiments.get_suite("table1")      # or ExperimentSpec.load(path)
+>>> result_set = experiments.run(spec)          # persists + returns results
+>>> result_set.rows(["n", "label", "max_stretch", "max_table_bits"])
+
+Pieces
+------
+* :mod:`~repro.experiments.spec` — :class:`ExperimentSpec` (frozen,
+  JSON-round-tripping grid), :class:`SchemeSpec`, :class:`CellOverride`,
+  and the expanded :class:`Cell`;
+* :mod:`~repro.experiments.runner` — :func:`run`: grid execution through
+  ``api.build`` / ``api.evaluate`` with a shared build cache, optional
+  chunk-parallel process pool (workload-grouped), and resume-from-JSON;
+* :mod:`~repro.experiments.results` — typed :class:`CellResult` /
+  :class:`ResultSet` with lossless persistence under
+  ``benchmarks/results/`` and cell-keyed diffing;
+* :mod:`~repro.experiments.probes` — registered scheme-specific extra
+  measurements cells can request by name;
+* :mod:`~repro.experiments.suites` — the named paper artifacts
+  (``table1``–``table3``, ``fig1``/``fig2``, ``stretch``, ``dls``,
+  ``distributed``, ``smoke``) and the EXPERIMENTS.md index generator.
+"""
+
+from repro.experiments.spec import (
+    Cell,
+    CellOverride,
+    ExperimentSpec,
+    SchemeSpec,
+)
+from repro.experiments.results import (
+    CellResult,
+    ResultSet,
+    default_results_dir,
+    dump_json,
+    jsonify,
+)
+from repro.experiments.probes import PROBES, register_probe
+from repro.experiments.runner import run, run_cell
+from repro.experiments.suites import SUITES, get_suite, render_index, suite_names
+
+__all__ = [
+    "Cell",
+    "CellOverride",
+    "CellResult",
+    "ExperimentSpec",
+    "PROBES",
+    "ResultSet",
+    "SUITES",
+    "SchemeSpec",
+    "default_results_dir",
+    "dump_json",
+    "get_suite",
+    "jsonify",
+    "register_probe",
+    "render_index",
+    "run",
+    "run_cell",
+    "suite_names",
+]

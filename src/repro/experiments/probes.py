@@ -1,0 +1,207 @@
+"""Registered cell probes: named extra measurements beyond the plan.
+
+A probe is a callable ``probe(fitted: FittedScheme) -> dict`` registered
+under a short stable name, so an :class:`~repro.experiments.spec.Cell`
+can request scheme-specific measurements (overlay out-degree, the
+Table 3 mode split, Figure 2's translation-triangle audit, §6 churn
+runs) while the spec stays a plain JSON document — the probe *name* is
+declarative, the code lives here.
+
+Probes run after the plan evaluation; their outputs land in
+:attr:`CellResult.probes` and win over plan metrics in
+:meth:`CellResult.metric` lookups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+from repro.registry import Registry
+
+__all__ = ["PROBES", "register_probe", "run_probes"]
+
+#: Registered probe callables, keyed by the names specs reference.
+PROBES = Registry("probe")
+
+
+def register_probe(name: str, **meta: Any):
+    """Decorator: register a ``probe(fitted) -> dict`` under ``name``."""
+    return PROBES.register(name, **meta)
+
+
+def run_probes(fitted, names) -> Dict[str, Any]:
+    """Run each named probe on a fitted scheme, merging the outputs."""
+    out: Dict[str, Any] = {}
+    for name in names:
+        out.update(PROBES.get(name).obj(fitted))
+    return out
+
+
+@register_probe("overlay-out-degree",
+                summary="max overlay out-degree of a §4.1 metric routing scheme")
+def _overlay_out_degree(fitted) -> Dict[str, Any]:
+    return {"out_degree": int(fitted.inner.out_degree())}
+
+
+@register_probe("ring-cardinality",
+                summary="Theorem 2.1 max ring cardinality K = (16/δ)^α")
+def _ring_cardinality(fitted) -> Dict[str, Any]:
+    return {"max_ring_cardinality": int(fitted.inner.max_ring_cardinality())}
+
+
+@register_probe("label-bits",
+                summary="max per-node label bits of a distance labeling scheme")
+def _label_bits(fitted) -> Dict[str, Any]:
+    return {"max_label_bits": int(fitted.inner.max_label_bits())}
+
+
+@register_probe("twomode-split",
+                summary="Table 3 mode M1/M2 storage + header split and switch rate")
+def _twomode_split(fitted) -> Dict[str, Any]:
+    scheme = fitted.inner
+    n = scheme.graph.n
+    m1 = m2 = 0
+    for u in range(n):
+        account = scheme.table_bits(u)
+        m1 = max(m1, sum(b for k, b in account.components.items()
+                         if k.startswith("m1_")))
+        m2 = max(m2, sum(b for k, b in account.components.items()
+                         if k.startswith("m2_")))
+    switches = 0
+    total_pairs = 0
+    for u in range(0, n, max(1, n // 8)):
+        for v in range(n):
+            if u != v:
+                switches += scheme.route(u, v).mode_switches
+                total_pairs += 1
+    return {
+        "m1_table_bits": m1,
+        "m2_table_bits": m2,
+        "m1_header_bits": int(scheme._header_bits_m1(scheme.labels[0])),
+        "m2_header_bits": int(scheme._header_bits_m2()),
+        "m2_switches": switches,
+        "switch_pairs": total_pairs,
+    }
+
+
+@register_probe("translation-triangles",
+                summary="Figure 2: exhaustive ζ translation-triangle audit")
+def _translation_triangles(fitted) -> Dict[str, Any]:
+    scheme = fitted.inner
+    checked = nulls = violations = 0
+    for u in range(scheme.graph.n):
+        for j in range(scheme.levels - 1):
+            ring_u_next = {w: k for k, w in enumerate(scheme.ring(u, j + 1))}
+            for fi, f in enumerate(scheme.ring(u, j)):
+                for wi, w in enumerate(scheme.ring(f, j + 1)):
+                    got = scheme._zeta[u][j].get((fi, wi))
+                    expected = ring_u_next.get(w)
+                    if got != expected:
+                        violations += 1
+                    checked += 1
+                    if expected is None:
+                        nulls += 1
+    # One worked example for the regenerated figure caption.
+    example = ""
+    for u in range(scheme.graph.n):
+        done = False
+        for j in range(scheme.levels - 1):
+            if len(scheme.ring(u, j)) > 1 and scheme._zeta[u][j]:
+                (fi, wi), result = next(iter(scheme._zeta[u][j].items()))
+                f = scheme.ring(u, j)[fi]
+                w = scheme.ring(f, j + 1)[wi]
+                example = (
+                    f"example triangle: u={u}, f=ring_{u},{j}[{fi}]={f}, "
+                    f"w=ring_{f},{j + 1}[{wi}]={w}  =>  zeta_u{j}({fi},{wi}) "
+                    f"= {result} = position of {w} in ring_{u},{j + 1}"
+                )
+                done = True
+                break
+        if done:
+            break
+    return {
+        "triangles_checked": checked,
+        "null_entries": nulls,
+        "violations": violations,
+        "example": example,
+    }
+
+
+def _churn(fitted, repair_probes: int, prefix: str) -> Dict[str, Any]:
+    from repro.distributed import ChurnSimulation
+
+    sim = ChurnSimulation(
+        fitted.workload.metric,
+        fitted.inner,
+        churn_rate=0.15,
+        repair_probes=repair_probes,
+        seed=6,
+    )
+    reports = sim.run(4, quality_queries=60)
+    first, last = reports[0], reports[-1]
+    return {
+        f"{prefix}_first_mean_approximation": float(first.mean_approximation),
+        f"{prefix}_last_mean_approximation": float(last.mean_approximation),
+        f"{prefix}_first_exact_rate": float(first.exact_rate),
+        f"{prefix}_last_exact_rate": float(last.exact_rate),
+        f"{prefix}_last_ring_members": float(last.mean_ring_members),
+    }
+
+
+@register_probe("churn-no-repair",
+                summary="§6 Meridian quality decay under churn, no maintenance")
+def _churn_no_repair(fitted) -> Dict[str, Any]:
+    return _churn(fitted, repair_probes=0, prefix="no_repair")
+
+
+@register_probe("churn-repair",
+                summary="§6 Meridian quality under churn with repair probes")
+def _churn_repair(fitted) -> Dict[str, Any]:
+    return _churn(fitted, repair_probes=6, prefix="repair")
+
+
+@register_probe("distributed-net",
+                summary="§6 distributed r-net construction cost and validity")
+def _distributed_net(fitted) -> Dict[str, Any]:
+    from repro.distributed import DistributedNetProtocol, SynchronousNetwork
+    from repro.metrics.nets import greedy_net, is_r_net
+
+    metric = fitted.workload.metric
+    proto = DistributedNetProtocol(r=0.2)
+    net = SynchronousNetwork(metric, proto, seed=1)
+    stats = net.run(max_rounds=100)
+    members = proto.net_members(net.ctx)
+    return {
+        "net_rounds": int(stats.rounds),
+        "net_messages": int(stats.messages),
+        "net_probes": int(stats.probes),
+        "net_size": len(members),
+        "net_central_size": len(greedy_net(metric, 0.2)),
+        "net_valid": bool(is_r_net(metric, members, 0.2)),
+        "net_converged": bool(stats.converged),
+        "net_round_bound": float(4 * math.log2(metric.n)),
+    }
+
+
+@register_probe("gossip-gap",
+                summary="§6 gossip ring coverage/recall vs the exact rings")
+def _gossip_gap(fitted) -> Dict[str, Any]:
+    from repro.distributed import (
+        GossipRingProtocol,
+        SynchronousNetwork,
+        ring_coverage,
+    )
+
+    metric = fitted.workload.metric
+    out: Dict[str, Any] = {}
+    for rounds in (1, 6, 24):
+        proto = GossipRingProtocol(
+            bootstrap=3, exchange=8, ring_capacity=6, rounds=rounds
+        )
+        net = SynchronousNetwork(metric, proto, seed=3)
+        net.run(max_rounds=10 * rounds + 10)
+        scale_cov, recall = ring_coverage(metric, proto, net.ctx)
+        out[f"gossip_r{rounds}_coverage"] = float(scale_cov)
+        out[f"gossip_r{rounds}_recall"] = float(recall)
+    return out

@@ -1,0 +1,94 @@
+"""Batched D+ over common-beacon labels (shared by the ring schemes).
+
+Both :class:`~repro.labeling.triangulation.RingTriangulation` and its
+corollary DLS store, per node, a ``beacon -> distance`` mapping and
+answer ``estimate(u, v)`` with ``D+ = min_b (d_ub + d_vb)`` over the
+*common* beacons ``b``.  :class:`PackedLabels` packs those mappings once
+into a CSR layout (per-row sorted beacon ids + distances), and a pair
+batch reduces to one sorted-key intersection over the gathered rows —
+``(pair, beacon)`` keys from both sides meet in
+:func:`numpy.intersect1d` and a single grouped ``minimum.reduceat``
+yields every pair's D+.  Work is linear-ish in the gathered label mass
+(O(L log L) with L = Σ label sizes over the batch), never the Θ(K²)
+per-pair cross product, which is what lets
+:func:`repro.engine.bulk_estimates` stay vectorized for the paper's own
+schemes instead of falling back to the per-pair loop.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId
+
+__all__ = ["PackedLabels"]
+
+
+class PackedLabels:
+    """Common-neighbor labels packed (CSR) for batched D+ evaluation."""
+
+    def __init__(self, labels: Sequence[Mapping[NodeId, float]]) -> None:
+        n = len(labels)
+        counts = np.fromiter((len(label) for label in labels), dtype=np.int64,
+                             count=n)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)])
+        total = int(self.indptr[-1])
+        self.ids = np.empty(total, dtype=np.int64)
+        self.dist = np.empty(total, dtype=float)
+        for u, label in enumerate(labels):
+            lo, hi = self.indptr[u], self.indptr[u + 1]
+            if lo == hi:
+                continue
+            ids = np.fromiter(label.keys(), dtype=np.int64, count=len(label))
+            dist = np.fromiter(label.values(), dtype=float, count=len(label))
+            order = np.argsort(ids, kind="stable")
+            self.ids[lo:hi] = ids[order]
+            self.dist[lo:hi] = dist[order]
+        self.n = n
+        #: chunk bound on the gathered label mass per batch (~tens of MB)
+        self.max_gather = 4_000_000
+
+    def _gather(self, rows: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """(keys, dists) of every (row-position, beacon) entry, where
+        ``key = position * n + beacon`` — ascending, since ids are sorted
+        within each row and positions are emitted in order."""
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        total = int(counts.sum())
+        pair_of = np.repeat(np.arange(rows.shape[0], dtype=np.int64), counts)
+        # Entry index into the CSR arrays: a per-row arange offset by starts.
+        base = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64) - base[pair_of] + starts[pair_of]
+        keys = pair_of * self.n + self.ids[idx]
+        return keys, self.dist[idx]
+
+    def dplus_many(self, us, vs) -> np.ndarray:
+        """``min_b (d_ub + d_vb)`` per pair (0 on the diagonal, ``inf``
+        when a pair shares no beacon), chunked to bound peak memory."""
+        us = np.asarray(us, dtype=np.int64).ravel()
+        vs = np.asarray(vs, dtype=np.int64).ravel()
+        m = us.shape[0]
+        out = np.full(m, np.inf, dtype=float)
+        if m == 0:
+            return out
+        mean_row = max(1.0, self.ids.size / max(1, self.n))
+        chunk = max(1, int(self.max_gather / mean_row))
+        for lo in range(0, m, chunk):
+            hi = min(m, lo + chunk)
+            keys_u, dist_u = self._gather(us[lo:hi])
+            keys_v, dist_v = self._gather(vs[lo:hi])
+            # Keys are unique per side (distinct beacons within a row),
+            # so the intersection is exactly the common beacons per pair.
+            common, iu, iv = np.intersect1d(
+                keys_u, keys_v, assume_unique=True, return_indices=True
+            )
+            if common.size == 0:
+                continue
+            sums = dist_u[iu] + dist_v[iv]
+            pair_of = common // self.n
+            starts = np.flatnonzero(np.diff(pair_of, prepend=-1))
+            out[lo + pair_of[starts]] = np.minimum.reduceat(sums, starts)
+        out[us == vs] = 0.0
+        return out

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.labeling._dplus import PackedLabels
 from repro.labeling._scales import ScaleStructure
 from repro.labeling.encoding import DistanceCodec
 from repro.metrics.base import MetricSpace
@@ -67,6 +68,7 @@ class RingTriangulation:
             self._labels.append(
                 {int(b): float(row[b]) for b in self.scales.all_neighbors(u)}
             )
+        self._packed: Optional[PackedLabels] = None
 
     # -- structure metrics -------------------------------------------------
 
@@ -106,6 +108,17 @@ class RingTriangulation:
         if u == v:
             return 0.0
         return self.bounds(u, v)[1]
+
+    def estimate_many(self, us, vs) -> np.ndarray:
+        """Batched D+ over the packed labels (0 on the diagonal).
+
+        Labels are packed into padded id/distance arrays on first use, so
+        a whole pair batch runs as chunked broadcast intersections
+        instead of per-pair dict walks.
+        """
+        if self._packed is None:
+            self._packed = PackedLabels(self._labels)
+        return self._packed.dplus_many(us, vs)
 
     def certified_ratio_bound(self) -> float:
         """The guaranteed worst-pair D+/D- ratio: (1+2δ)/(1-2δ)."""
@@ -157,6 +170,7 @@ class TriangulationDLS:
             {b: self.codec.roundtrip(d) for b, d in triangulation.beacons_of(u).items()}
             for u in range(metric.n)
         ]
+        self._packed: Optional[PackedLabels] = None
 
     def label(self, u: NodeId) -> Dict[NodeId, float]:
         return self._labels[u]
@@ -187,3 +201,9 @@ class TriangulationDLS:
             if dv is not None:
                 best = min(best, du + dv)
         return best
+
+    def estimate_many(self, us, vs) -> np.ndarray:
+        """Batched quantized D+ (same packed-label path as Theorem 3.2)."""
+        if self._packed is None:
+            self._packed = PackedLabels(self._labels)
+        return self._packed.dplus_many(us, vs)

@@ -1,0 +1,140 @@
+"""ExperimentSpec: round-tripping, unknown-key errors, grid expansion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import PlanConfig, Workload
+from repro.experiments import CellOverride, ExperimentSpec, SchemeSpec
+
+
+@pytest.fixture()
+def spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "unit",
+        description="two workloads x two schemes x two plans x two seeds",
+        workloads=[
+            Workload.make("hypercube", n=24, dim=2, seed=1),
+            Workload.make("expline", n=16),
+        ],
+        schemes=[
+            SchemeSpec.make("triangulation", delta=0.3),
+            SchemeSpec.make("beacons", label="beacons-8", beacons=8),
+        ],
+        plans=[
+            PlanConfig(kind="uniform", pairs=40, seed=0),
+            PlanConfig(kind="all-pairs"),
+        ],
+        seeds=[0, 1],
+        probes=["label-bits"],
+        overrides=[
+            CellOverride(workload="expline",
+                         plan=PlanConfig(kind="uniform", pairs=10, seed=7)),
+            CellOverride(scheme="beacons-8", config=(("beacons", 4),),
+                         probes=()),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, spec):
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self, spec):
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_file_round_trip(self, spec, tmp_path):
+        path = spec.save(tmp_path / "unit.json")
+        assert ExperimentSpec.load(path) == spec
+
+    def test_hash_is_canonical_and_sensitive(self, spec):
+        assert len(spec.spec_hash()) == 12
+        other = ExperimentSpec.make(
+            "unit",
+            workloads=spec.workloads,
+            schemes=spec.schemes,
+            plans=spec.plans,
+            seeds=[0, 2],  # one axis value changed
+        )
+        assert other.spec_hash() != spec.spec_hash()
+
+    def test_scheme_spec_from_bare_string(self):
+        assert SchemeSpec.from_dict("triangulation").scheme == "triangulation"
+
+
+class TestValidation:
+    def test_unknown_spec_key_rejected(self, spec):
+        data = spec.to_dict()
+        data["workloadz"] = []
+        with pytest.raises(ValueError, match="workloadz"):
+            ExperimentSpec.from_dict(data)
+
+    def test_unknown_scheme_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="confg"):
+            SchemeSpec.from_dict({"scheme": "triangulation", "confg": {}})
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(ValueError, match="plam"):
+            CellOverride.from_dict({"plam": {"kind": "uniform"}})
+
+    def test_unknown_scheme_name_lists_valid(self):
+        with pytest.raises(KeyError, match="triangulation"):
+            SchemeSpec.make("not-a-scheme")
+
+    def test_bad_config_field_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="delta"):
+            SchemeSpec.make("triangulation", delta=0.9)
+
+    def test_empty_axes_rejected(self, spec):
+        with pytest.raises(ValueError, match="no schemes"):
+            ExperimentSpec.make("x", workloads=spec.workloads, schemes=[])
+
+    def test_unknown_plan_key_rejected(self, spec):
+        data = spec.to_dict()
+        data["plans"][0]["pares"] = 3
+        with pytest.raises(ValueError, match="pares"):
+            ExperimentSpec.from_dict(data)
+
+
+class TestGridExpansion:
+    def test_cell_count_is_the_product_with_plan_overrides(self, spec):
+        cells = spec.cells()
+        # hypercube: 2 schemes x 2 plans x 2 seeds; expline's override
+        # pins one plan: 2 schemes x 1 plan x 2 seeds.
+        assert len(cells) == 2 * 2 * 2 + 2 * 1 * 2
+
+    def test_keys_are_unique_and_deterministic(self, spec):
+        cells = spec.cells()
+        assert len({c.key for c in cells}) == len(cells)
+        assert [c.key for c in spec.cells()] == [c.key for c in cells]
+
+    def test_override_merges_config_and_replaces_probes(self, spec):
+        cells = spec.cells()
+        beacon_cells = [c for c in cells if c.label == "beacons-8"]
+        assert beacon_cells and all(
+            dict(c.config)["beacons"] == 4 and c.probes == ()
+            for c in beacon_cells
+        )
+        tri_cells = [c for c in cells if c.label == "triangulation"]
+        assert all(c.probes == ("label-bits",) for c in tri_cells)
+
+    def test_override_pins_plan_per_workload(self, spec):
+        expline_cells = [
+            c for c in spec.cells() if c.workload.name == "expline"
+        ]
+        assert all(
+            c.plan == PlanConfig(kind="uniform", pairs=10, seed=7)
+            for c in expline_cells
+        )
+
+    def test_cell_round_trips(self, spec):
+        from repro.experiments import Cell
+
+        for cell in spec.cells():
+            clone = Cell.from_dict(json.loads(json.dumps(cell.to_dict())))
+            assert clone == cell
+            assert clone.key == cell.key

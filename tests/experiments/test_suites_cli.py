@@ -1,0 +1,117 @@
+"""Named suites and the experiment CLI surface."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ResultSet,
+    get_suite,
+    render_index,
+    run,
+    suite_names,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_SUITES = {
+    "smoke", "table1", "table2", "table3",
+    "fig1", "fig2", "stretch", "dls", "distributed",
+}
+
+
+def _cli(*args: str, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestSuites:
+    def test_all_paper_artifacts_registered(self):
+        assert EXPECTED_SUITES <= set(suite_names())
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SUITES))
+    def test_suite_specs_build_and_round_trip(self, name):
+        spec = get_suite(name)
+        assert spec.name == name
+        assert len(spec.cells()) >= 1
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_index_lists_every_suite(self):
+        index = render_index()
+        for name in EXPECTED_SUITES:
+            assert f"`{name}`" in index
+
+    def test_experiments_md_is_regenerated(self):
+        """The committed index must match the registered suites."""
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert committed == render_index() + "\n"
+
+
+class TestCLI:
+    def test_run_json_stdout_matches_direct_run(self, tmp_path):
+        proc = _cli("run", "smoke", "--json", "-", "--out", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        cli_set = ResultSet.from_json(proc.stdout)
+        direct = run(get_suite("smoke"), persist=False)
+        assert cli_set.keys() == direct.keys()
+        for a, b in zip(cli_set, direct):
+            assert a.metrics == b.metrics
+        # The persisted artifact equals the emitted JSON as well.
+        assert ResultSet.load(tmp_path / "smoke.resultset.json") == cli_set
+
+    def test_run_spec_file_and_results_listing(self, tmp_path):
+        spec_path = get_suite("smoke").save(tmp_path / "myspec.json")
+        proc = _cli("run", str(spec_path), "--out", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        listing = _cli("results", "--out", str(tmp_path))
+        assert listing.returncode == 0, listing.stderr
+        assert "smoke" in listing.stdout
+
+    def test_results_diff_of_identical_sets_agrees(self, tmp_path):
+        rs = run(get_suite("smoke"), out_dir=tmp_path)
+        copy = tmp_path / "copy.resultset.json"
+        copy.write_text(rs.to_json() + "\n")
+        proc = _cli(
+            "results", "--out", str(tmp_path),
+            "--diff", "smoke", str(copy),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "agree" in proc.stdout
+
+    def test_results_listing_surfaces_unreadable_files(self, tmp_path):
+        (tmp_path / "broken.resultset.json").write_text('{"kind": "experi')
+        proc = _cli("results", "--out", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "broken.resultset.json" in proc.stdout
+        assert "unreadable" in proc.stdout
+
+    def test_cache_subcommand(self):
+        proc = _cli("cache")
+        assert proc.returncode == 0, proc.stderr
+        for key in ("entries", "maxsize", "hits", "misses"):
+            assert key in proc.stdout
+
+    def test_suites_subcommand(self):
+        proc = _cli("suites")
+        assert proc.returncode == 0, proc.stderr
+        for name in EXPECTED_SUITES:
+            assert name in proc.stdout
+
+    def test_unknown_suite_is_self_diagnosing(self):
+        proc = _cli("run", "not-a-suite", "--no-persist")
+        assert proc.returncode != 0
+        assert "table1" in proc.stderr  # valid names listed
