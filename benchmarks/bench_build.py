@@ -1,0 +1,167 @@
+"""Perf + memory smoke for sharded net construction — machine-readable JSON.
+
+Builds the full nested 2^j-net hierarchy (the construction underneath
+every ring structure in the library) on two workload families —
+
+* a euclidean hypercube (batched block scans straight off coordinates);
+* a kNN doubling graph under the **lazy** shortest-path backend
+  (dense=False: Dijkstra rows on demand through the byte-bounded
+  RowCache, radius-capped for the net scans)
+
+— once serially and once per requested executor (chunked shards,
+optionally a process pool), verifies every variant is **bit-for-bit
+identical** to the serial build, and records wall-clock plus the lazy
+backend's peak resident rows/bytes to JSON.  The peak-rows number is the
+memory story: at n = 10⁴ the dense APSP matrix would be 800 MB; the lazy
+build's residency stays at the cache budget.
+
+Run directly (CI does, on every push):
+
+    PYTHONPATH=src python benchmarks/bench_build.py
+    PYTHONPATH=src python benchmarks/bench_build.py \
+        --sizes 2000,4000 --shards 4 --workers 2 \
+        --out benchmarks/results/build_perf.json
+
+Exits non-zero if any sharded build diverges from the serial one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.construction import (
+    ChunkedExecutor,
+    ProcessPoolBuildExecutor,
+    resolve_workers,
+)
+from repro.graphs.generators import knn_geometric_graph
+from repro.metrics.graphmetric import ShortestPathMetric
+from repro.metrics.nets import NestedNets
+from repro.metrics.synthetic import random_hypercube_metric
+
+SEED = 11
+
+#: Lazy-backend row cache budget for the bench (16 MiB: small enough that
+#: the n=4000+ builds demonstrably evict, large enough to stay fast).
+CACHE_BYTES = 16 * 1024 * 1024
+
+
+def _workloads(n: int) -> Dict[str, Any]:
+    return {
+        "euclidean": lambda: random_hypercube_metric(n, dim=2, seed=SEED),
+        "knn-graph-lazy": lambda: ShortestPathMetric(
+            knn_geometric_graph(n, k=4, seed=SEED),
+            dense=False,
+            row_cache_bytes=CACHE_BYTES,
+        ),
+    }
+
+
+def _hierarchy(metric, executor=None) -> NestedNets:
+    return NestedNets(
+        metric,
+        levels=metric.log_aspect_ratio() + 1,
+        base_radius=metric.min_distance(),
+        executor=executor,
+    )
+
+
+def _nets_equal(a: NestedNets, b: NestedNets) -> bool:
+    return a.levels == b.levels and all(
+        a.net(j) == b.net(j) for j in range(a.levels)
+    )
+
+
+def bench_one(name: str, make_metric, shards: int, workers: int) -> Dict[str, Any]:
+    metric = make_metric()
+    metric.min_distance()  # warm the extremes so every variant pays alike
+
+    t0 = time.perf_counter()
+    serial = _hierarchy(metric)
+    serial_s = time.perf_counter() - t0
+
+    record: Dict[str, Any] = {
+        "workload": name,
+        "n": metric.n,
+        "levels": serial.levels,
+        "net_sizes": [len(serial.net(j)) for j in range(serial.levels)],
+        "serial_s": round(serial_s, 4),
+        "identical": True,
+    }
+
+    t0 = time.perf_counter()
+    chunked = _hierarchy(metric, executor=ChunkedExecutor(shards))
+    record["chunked_s"] = round(time.perf_counter() - t0, 4)
+    record["chunked_shards"] = shards
+    record["identical"] &= _nets_equal(serial, chunked)
+
+    if workers >= 2:
+        with ProcessPoolBuildExecutor(workers=workers) as pool:
+            t0 = time.perf_counter()
+            pooled = _hierarchy(metric, executor=pool)
+            record["pool_s"] = round(time.perf_counter() - t0, 4)
+        record["pool_workers"] = workers
+        record["identical"] &= _nets_equal(serial, pooled)
+
+    if getattr(metric, "row_cache_stats", None):
+        # The net scans themselves run on radius-capped uncached rows, so
+        # after the builds the cache can legitimately be empty.  Touch an
+        # evaluation-style row sweep (more rows than the budget holds) so
+        # the recorded peak demonstrates the bounded residency story.
+        for u in range(0, metric.n, max(1, metric.n // 1024)):
+            metric.distances_from(u)
+        stats = metric.row_cache_stats()
+        record["row_cache_budget_bytes"] = int(stats["budget_bytes"])
+        record["peak_resident_rows"] = int(stats["peak_rows"])
+        record["peak_resident_bytes"] = int(stats["peak_bytes"])
+        record["dense_matrix_bytes"] = int(metric.n) ** 2 * 8
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="2000",
+                        help="comma-separated instance sizes")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="chunked-executor shard count")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool workers (0 = one per core; "
+                             "resolved counts < 2 skip the pool variant)")
+    parser.add_argument("--out", default="benchmarks/results/build_perf.json")
+    args = parser.parse_args(argv)
+
+    workers = resolve_workers(args.workers if args.workers is not None else 0)
+    results: List[Dict[str, Any]] = []
+    for n in (int(s) for s in args.sizes.split(",")):
+        for name, make_metric in _workloads(n).items():
+            record = bench_one(name, make_metric, args.shards, workers)
+            results.append(record)
+            print(json.dumps(record))
+
+    payload = {
+        "bench": "build",
+        "seed": SEED,
+        "row_cache_bytes": CACHE_BYTES,
+        "results": results,
+    }
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if not all(r["identical"] for r in results):
+        print("FAIL: a sharded build diverged from the serial build",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

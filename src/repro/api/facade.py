@@ -42,22 +42,31 @@ class BuildCache:
         self.hits = 0
         self.misses = 0
 
-    def instance(self, spec: Workload) -> WorkloadInstance:
+    def instance(self, spec: Workload, executor=None) -> WorkloadInstance:
         try:
             hash(spec)
         except TypeError:
             # Unhashable seed (e.g. a live Generator): build uncached.
-            return realize(spec)
+            return self._attach(realize(spec), executor)
         if spec in self._instances:
             self.hits += 1
             self._instances.move_to_end(spec)
-            return self._instances[spec]
+            return self._attach(self._instances[spec], executor)
         self.misses += 1
         built = realize(spec)
         self._instances[spec] = built
         while len(self._instances) > self.maxsize:
             self._instances.popitem(last=False)
-        return built
+        return self._attach(built, executor)
+
+    @staticmethod
+    def _attach(instance: WorkloadInstance, executor) -> WorkloadInstance:
+        # The executor is execution policy, not identity: sharded builds
+        # are bit-for-bit serial builds, so attaching it to a cached
+        # instance is safe and it never participates in the cache key.
+        if executor is not None:
+            instance.executor = executor
+        return instance
 
     def clear(self) -> None:
         self._instances.clear()
@@ -93,6 +102,7 @@ def build_workload(
     seed: Optional[SeedLike] = 0,
     *,
     cache: Optional[BuildCache] = None,
+    executor: Any = None,
     **params: Any,
 ) -> WorkloadInstance:
     """Realize a workload by name (memoized) or pass an instance through.
@@ -100,21 +110,24 @@ def build_workload(
     ``build_workload("expline", n=64, base=1.7)`` builds (or fetches) the
     64-point exponential line; deterministic generators ignore ``seed``.
     When ``n`` is omitted the instance size falls back to
-    :data:`DEFAULT_N` (= 96).
+    :data:`DEFAULT_N` (= 96).  ``executor`` (a
+    :class:`repro.construction.BuildExecutor`) is attached to the
+    instance so scheme builders shard their construction scans; it never
+    changes results.
     """
     if isinstance(workload, WorkloadInstance):
         if n is not None or params:
             raise ValueError(
                 "cannot override n/params of an already-built WorkloadInstance"
             )
-        return workload
+        return BuildCache._attach(workload, executor)
     if isinstance(workload, Workload):
         if n is not None or params:
             raise ValueError("pass parameters via Workload.make, not both")
         spec = workload
     else:
         spec = Workload.make(workload, n=n, seed=seed, **params)
-    return (cache or _DEFAULT_CACHE).instance(spec)
+    return (cache or _DEFAULT_CACHE).instance(spec, executor=executor)
 
 
 def _split_params(
@@ -158,6 +171,7 @@ def build(
     config: Union[None, Mapping[str, Any], Any] = None,
     workload_params: Optional[Mapping[str, Any]] = None,
     cache: Optional[BuildCache] = None,
+    executor: Any = None,
     **params: Any,
 ) -> FittedScheme:
     """Build a registered scheme on a registered workload.
@@ -167,7 +181,9 @@ def build(
     parameters go to the generator, anything else (or anything both
     accept) raises with the valid choices spelled out.  ``seed`` drives
     both the workload generator and every randomized part of the scheme,
-    so equal seeds give identical builds.
+    so equal seeds give identical builds.  ``executor`` shards the
+    construction scans (see :mod:`repro.construction`) without changing
+    a single bit of the built structure.
     """
     entry = SCHEMES.get(scheme)
     scheme_cls = entry.obj
@@ -188,7 +204,9 @@ def build(
     elif isinstance(config, Mapping):
         config = scheme_cls.config_cls.from_dict(config)
 
-    instance = build_workload(workload, n=n, seed=seed, cache=cache, **wl_params)
+    instance = build_workload(
+        workload, n=n, seed=seed, cache=cache, executor=executor, **wl_params
+    )
     return scheme_cls.build(instance, config, seed=seed)
 
 

@@ -330,7 +330,7 @@ class _RoutingAdapter(FittedScheme):
     config_cls = RoutingConfig
 
     @classmethod
-    def _factory(cls, graph, config: RoutingConfig, metric=None):
+    def _factory(cls, graph, config: RoutingConfig, metric=None, executor=None):
         raise NotImplementedError
 
     @classmethod
@@ -338,8 +338,14 @@ class _RoutingAdapter(FittedScheme):
         from repro.routing.metric_overlay import MetricRouting
 
         if workload.graph is not None:
-            inner = cls._factory(workload.graph, config, metric=workload.metric)
-            matrix = workload.metric.matrix
+            inner = cls._factory(
+                workload.graph, config,
+                metric=workload.metric, executor=workload.executor,
+            )
+            # Lazy metric backend: keep everything matrix-free and let the
+            # evaluators take true distances from batched metric queries.
+            dense = getattr(workload.metric, "dense", True)
+            matrix = workload.metric.matrix if dense else None
         else:
             inner = MetricRouting(
                 workload.metric, config.delta,
@@ -372,7 +378,8 @@ class _RoutingAdapter(FittedScheme):
         from repro.routing.base import evaluate_scheme
 
         rs = evaluate_scheme(
-            self.inner, self._matrix, sample_pairs=samples, seed=seed
+            self.inner, self._matrix, sample_pairs=samples, seed=seed,
+            metric=self.workload.metric,
         )
         return self._stats_dict(rs)
 
@@ -402,10 +409,14 @@ class _RoutingAdapter(FittedScheme):
 )
 class TrivialRoutingScheme(_RoutingAdapter):
     @classmethod
-    def _factory(cls, graph, config, metric=None):
+    def _factory(cls, graph, config, metric=None, executor=None):
         from repro.routing.trivial import TrivialRouting
 
-        return TrivialRouting(graph)
+        return TrivialRouting(
+            graph,
+            dense=getattr(metric, "dense", True),
+            row_cache_bytes=getattr(metric, "row_cache_budget", None),
+        )
 
 
 @register_scheme(
@@ -414,10 +425,12 @@ class TrivialRoutingScheme(_RoutingAdapter):
 )
 class RingRoutingScheme(_RoutingAdapter):
     @classmethod
-    def _factory(cls, graph, config, metric=None):
+    def _factory(cls, graph, config, metric=None, executor=None):
         from repro.routing.ring_scheme import RingRouting
 
-        return RingRouting(graph, delta=config.delta, metric=metric)
+        return RingRouting(
+            graph, delta=config.delta, metric=metric, executor=executor
+        )
 
 
 @register_scheme(
@@ -426,11 +439,12 @@ class RingRoutingScheme(_RoutingAdapter):
 )
 class LabelRoutingScheme(_RoutingAdapter):
     @classmethod
-    def _factory(cls, graph, config, metric=None):
+    def _factory(cls, graph, config, metric=None, executor=None):
         from repro.routing.label_scheme import LabelRouting
 
         return LabelRouting(
-            graph, delta=config.delta, estimator=config.estimator, metric=metric
+            graph, delta=config.delta, estimator=config.estimator,
+            metric=metric, executor=executor,
         )
 
 
@@ -440,7 +454,7 @@ class LabelRoutingScheme(_RoutingAdapter):
 )
 class TwoModeRoutingScheme(_RoutingAdapter):
     @classmethod
-    def _factory(cls, graph, config, metric=None):
+    def _factory(cls, graph, config, metric=None, executor=None):
         from repro.routing.twomode import TwoModeRouting
 
         return TwoModeRouting(

@@ -19,6 +19,7 @@ from repro.graphs.graph import WeightedGraph
 from repro.labeling._scales import ScaleStructure
 from repro.metrics.base import MetricSpace
 from repro.metrics.graphmetric import ShortestPathMetric
+from repro.metrics.nets import NestedNets
 from repro.metrics.measure import DoublingMeasure, doubling_measure
 from repro.metrics.synthetic import (
     clustered_metric,
@@ -105,7 +106,13 @@ class Workload:
 
 
 class WorkloadInstance:
-    """A realized workload: metric, optional graph, shared structures."""
+    """A realized workload: metric, optional graph, shared structures.
+
+    ``executor`` is the :class:`repro.construction.BuildExecutor` scheme
+    builders should shard their construction scans over; it is attached
+    by the facade (``build_workers``), never part of the cache key —
+    sharded builds are bit-for-bit identical to serial ones.
+    """
 
     def __init__(
         self,
@@ -116,9 +123,11 @@ class WorkloadInstance:
         self.spec = spec
         self.metric = metric
         self.graph = graph
+        self.executor = None
         self._scales: Dict[float, ScaleStructure] = {}
         self._measure: Optional[DoublingMeasure] = None
         self._rings: Dict[Tuple[int, Optional[int]], RingsOfNeighbors] = {}
+        self._nets: Optional[NestedNets] = None
 
     @property
     def n(self) -> int:
@@ -138,8 +147,24 @@ class WorkloadInstance:
         """The §3 scale structure for ``delta``, built once per delta."""
         key = round(float(delta), 12)
         if key not in self._scales:
-            self._scales[key] = ScaleStructure(self.metric, delta=float(delta))
+            self._scales[key] = ScaleStructure(
+                self.metric, delta=float(delta), executor=self.executor
+            )
         return self._scales[key]
+
+    def nested_nets(self) -> NestedNets:
+        """The canonical nested 2^j-net hierarchy of this metric (scaled by
+        the minimum distance so ``G_0`` holds every node), built once and
+        shared — e.g. by the ``net-hierarchy`` probe."""
+        if self._nets is None:
+            metric = self.metric
+            self._nets = NestedNets(
+                metric,
+                levels=metric.log_aspect_ratio() + 1,
+                base_radius=metric.min_distance(),
+                executor=self.executor,
+            )
+        return self._nets
 
     def measure(self) -> DoublingMeasure:
         """A doubling measure on the metric (Theorem 1.3), built once."""
@@ -168,14 +193,24 @@ class WorkloadInstance:
 def realize(spec: Workload) -> WorkloadInstance:
     """Run the registered generator for ``spec`` (no caching here)."""
     entry = WORKLOADS.get(spec.name)
-    built = entry.obj(n=spec.n, seed=spec.seed, **spec.kwargs)
+    kwargs = spec.kwargs
     if entry.meta.get("kind") == "graph":
+        # Metric-backend knobs every graph workload shares: they select
+        # how the shortest-path metric is realized (dense APSP vs lazy
+        # Dijkstra rows under a byte budget), not what the generator makes.
+        dense = bool(kwargs.pop("dense", True))
+        cache_mb = float(kwargs.pop("cache_mb", 64))
+        built = entry.obj(n=spec.n, seed=spec.seed, **kwargs)
         if not isinstance(built, WeightedGraph):
             raise TypeError(
                 f"workload {spec.name!r} is registered as kind='graph' but "
                 f"built a {type(built).__name__}"
             )
-        return WorkloadInstance(spec, ShortestPathMetric(built), graph=built)
+        metric = ShortestPathMetric(
+            built, dense=dense, row_cache_bytes=int(cache_mb * 1024 * 1024)
+        )
+        return WorkloadInstance(spec, metric, graph=built)
+    built = entry.obj(n=spec.n, seed=spec.seed, **kwargs)
     if not isinstance(built, MetricSpace):
         raise TypeError(
             f"workload {spec.name!r} is registered as kind='metric' but "
@@ -239,9 +274,14 @@ def _clustered(
     return clustered_metric(n, clusters=clusters, dim=dim, spread=spread, seed=seed)
 
 
+# Graph workloads share the metric-backend knobs ``dense`` (True: full
+# APSP matrix; False: lazy Dijkstra rows, nothing Θ(n²) ever allocated)
+# and ``cache_mb`` (row-cache byte budget for the lazy backend) —
+# consumed by :func:`realize`, not by the generator.
+
 @register_workload(
     "knn-graph", summary="k-nearest-neighbor geometric graph (doubling)",
-    kind="graph", k=4,
+    kind="graph", k=4, dense=True, cache_mb=64,
 )
 def _knn_graph(n: int, seed: Optional[int] = 0, k: int = 4) -> WeightedGraph:
     return knn_geometric_graph(n, k=k, seed=seed)
@@ -249,7 +289,7 @@ def _knn_graph(n: int, seed: Optional[int] = 0, k: int = 4) -> WeightedGraph:
 
 @register_workload(
     "grid-graph", summary="side^dim grid graph (side from n)",
-    kind="graph", dim=2, jitter=0.0,
+    kind="graph", dim=2, jitter=0.0, dense=True, cache_mb=64,
 )
 def _grid_graph(
     n: int, seed: Optional[int] = 0, dim: int = 2, jitter: float = 0.0
@@ -260,7 +300,7 @@ def _grid_graph(
 
 @register_workload(
     "gap-path", summary="path graph with exponential edge weights (Lemma B.5)",
-    kind="graph", base=2.0,
+    kind="graph", base=2.0, dense=True, cache_mb=64,
 )
 def _gap_path(n: int, seed: Optional[int] = 0, base: float = 2.0) -> WeightedGraph:
     graph = WeightedGraph(n)

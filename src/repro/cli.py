@@ -242,13 +242,36 @@ def _resolve_spec(target: str):
     return get_suite(target)
 
 
+def _override_spec_n(spec, n: int):
+    """``spec`` with every workload rebuilt at size ``n``.
+
+    The spec is renamed ``<name>-n<n>`` so the reduced run persists (and
+    resumes) beside — never over — the full-size artifact.  CI uses this
+    to smoke the ``*-large`` suites at a reduced n.
+    """
+    import dataclasses
+
+    from repro.api import Workload
+
+    workloads = tuple(
+        Workload.make(w.name, n=n, seed=w.seed, **w.kwargs)
+        for w in spec.workloads
+    )
+    return dataclasses.replace(
+        spec, name=f"{spec.name}-n{n}", workloads=workloads
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import default_results_dir, run
 
     spec = _resolve_spec(args.target)
+    if args.override_n is not None:
+        spec = _override_spec_n(spec, args.override_n)
     result_set = run(
         spec,
         processes=args.processes,
+        build_workers=args.build_workers,
         resume=args.resume,
         out_dir=args.out,
         persist=not args.no_persist,
@@ -406,7 +429,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", default=None,
                        help="results directory (default: benchmarks/results)")
     p_run.add_argument("--processes", type=int, default=None,
-                       help="chunk-parallel across a process pool (>= 2)")
+                       help="cell-level process pool size; 0 or omitted = "
+                            "one per core (os.cpu_count()), 1 = serial")
+    p_run.add_argument("--build-workers", type=int, default=None,
+                       help="shard construction scans inside each build: "
+                            "0 = one per core, omitted = serial "
+                            "(results are identical either way)")
+    p_run.add_argument("--override-n", type=int, default=None, metavar="N",
+                       help="rebuild every workload of the suite at size N "
+                            "(persists as <suite>-nN; CI smokes the *-large "
+                            "suites this way)")
     p_run.add_argument("--resume", action="store_true",
                        help="reuse cells from a previously persisted run")
     p_run.add_argument("--no-persist", action="store_true",

@@ -1,0 +1,53 @@
+"""Sharded construction: executors and the batched net-building scans.
+
+The paper's structures are all built from the same primitive — distance
+rows from a few *sources* against a span of *targets* — so construction
+parallelism reduces to one abstraction: a :class:`BuildExecutor` that
+maps pure block tasks over contiguous shards of the node space.  Three
+executors ship:
+
+* :class:`SerialExecutor` — one shard, inline (the default everywhere);
+* :class:`ChunkedExecutor` — k shards, still inline: bounds peak block
+  memory without any parallelism machinery;
+* :class:`ProcessPoolBuildExecutor` — k shards over a process pool; the
+  metric is shipped to each worker once (pool initializer) and reused
+  across every subsequent task, so per-round communication is just the
+  reduced distance blocks.
+
+Every builder in :mod:`repro.construction.nets` is **bit-for-bit
+identical to the sequential scan for any shard count** — executors
+change wall-clock and peak memory, never results.  The facade threads an
+executor through :class:`repro.api.WorkloadInstance`, the experiment
+runner exposes it as ``build_workers``, and the CLI as
+``repro run --build-workers``.
+"""
+
+from repro.construction.executor import (
+    BuildExecutor,
+    ChunkedExecutor,
+    ProcessPoolBuildExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_workers,
+    span_chunks,
+)
+from repro.construction.nets import (
+    ball_members_sharded,
+    greedy_scan,
+    min_distance_update,
+    nearest_members_sharded,
+)
+
+__all__ = [
+    "BuildExecutor",
+    "ChunkedExecutor",
+    "ProcessPoolBuildExecutor",
+    "SerialExecutor",
+    "ball_members_sharded",
+    "greedy_scan",
+    "make_executor",
+    "min_distance_update",
+    "nearest_members_sharded",
+    "resolve_workers",
+    "span_chunks",
+]

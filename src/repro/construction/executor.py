@@ -1,0 +1,188 @@
+"""Build executors: serial, chunked, and process-pool block mapping.
+
+An executor's job is tiny on purpose: ``map(fn, tasks, payload)`` runs
+``fn(payload, *task)`` for every task and returns the results in task
+order.  ``payload`` is the expensive shared object (a metric); the
+process-pool executor installs it in each worker once via the pool
+initializer and keeps the pool alive across calls for as long as the
+same payload is used, so repeated builder rounds never re-pickle the
+metric.
+
+Tasks and results must pickle (plain tuples of ints/arrays in, arrays
+out); ``fn`` must be a module-level function.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BuildExecutor",
+    "ChunkedExecutor",
+    "ProcessPoolBuildExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "resolve_workers",
+    "span_chunks",
+]
+
+#: A contiguous node-id span ``[lo, hi)``.
+Span = Tuple[int, int]
+
+
+def resolve_workers(requested: Optional[int] = None) -> int:
+    """Worker count for a request: ``None``/``0`` means every core.
+
+    This is the single resolution rule shared by the experiment runner
+    (``--processes``), the facade (``build_workers``) and the bench
+    scripts, so "use the machine" is spelled the same way everywhere.
+    """
+    if requested is None or requested == 0:
+        return os.cpu_count() or 1
+    if requested < 0:
+        raise ValueError(f"worker count must be >= 0, got {requested}")
+    return int(requested)
+
+
+def span_chunks(n: int, shards: int) -> List[Span]:
+    """Split ``range(n)`` into up to ``shards`` balanced contiguous spans."""
+    if n <= 0:
+        return []
+    shards = max(1, min(int(shards), n))
+    bounds = [(n * i) // shards for i in range(shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(shards)]
+
+
+class BuildExecutor:
+    """Maps pure block tasks over shards of the node space."""
+
+    #: how many target spans builders should shard their work into
+    shards: int = 1
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, ...]],
+        payload: Any = None,
+    ) -> List[Any]:
+        """Run ``fn(payload, *task)`` for every task, in task order."""
+        raise NotImplementedError
+
+    def spans(self, n: int) -> List[Span]:
+        """The target spans this executor shards ``range(n)`` into."""
+        return span_chunks(n, self.shards)
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "BuildExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(BuildExecutor):
+    """One shard, inline execution — the default everywhere."""
+
+    shards = 1
+
+    def map(self, fn, tasks, payload=None):
+        return [fn(payload, *task) for task in tasks]
+
+
+class ChunkedExecutor(SerialExecutor):
+    """Inline execution over ``shards`` spans: bounds peak block memory
+    (and is the in-process stand-in for the pool in nested contexts)."""
+
+    def __init__(self, shards: int = 4) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = int(shards)
+
+
+# -- process pool ------------------------------------------------------
+
+_WORKER_PAYLOAD: Any = None
+
+
+def _init_worker(payload: Any) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _invoke(fn: Callable[..., Any], task: Tuple[Any, ...]) -> Any:
+    return fn(_WORKER_PAYLOAD, *task)
+
+
+class ProcessPoolBuildExecutor(BuildExecutor):
+    """Shards mapped over a persistent :class:`ProcessPoolExecutor`.
+
+    The pool is created lazily on the first :meth:`map` and rebuilt only
+    when the payload object changes, so one executor can serve every
+    level of a nested-net build (or several builds over one metric) with
+    a single metric transfer per worker.
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self, workers: Optional[int] = None, shards: Optional[int] = None
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.shards = int(shards) if shards else self.workers
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        self._pool = None
+        self._payload: Any = self._UNSET
+        self._closed = False
+
+    def _ensure_pool(self, payload: Any):
+        if self._pool is None or payload is not self._payload:
+            self.close()
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._closed = False
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+            self._payload = payload
+        return self._pool
+
+    def map(self, fn, tasks, payload=None):
+        if self._closed:
+            # A closed executor may still be referenced (e.g. attached to
+            # a cached WorkloadInstance by an earlier run).  Results are
+            # executor-independent by contract, so degrade to inline
+            # execution rather than silently resurrecting worker pools.
+            return [fn(payload, *task) for task in tasks]
+        pool = self._ensure_pool(payload)
+        futures = [pool.submit(_invoke, fn, tuple(task)) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._payload = self._UNSET
+
+
+def make_executor(
+    workers: Optional[int] = None, shards: Optional[int] = None
+) -> BuildExecutor:
+    """The right executor for a worker request.
+
+    ``workers=None`` or ``1`` is serial (``shards`` > 1 still chunks
+    inline); ``workers=0`` resolves to every core; >= 2 builds a
+    process-pool executor.
+    """
+    count = resolve_workers(workers if workers is not None else 1)
+    if count <= 1:
+        if shards and shards > 1:
+            return ChunkedExecutor(shards)
+        return SerialExecutor()
+    return ProcessPoolBuildExecutor(workers=count, shards=shards)

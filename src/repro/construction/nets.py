@@ -1,0 +1,263 @@
+"""Batched, shardable builders behind ``greedy_net`` and the ring scans.
+
+The sequential farthest-point scan of :func:`repro.metrics.nets.greedy_net`
+admits one node per distance row.  The batched scan here is **bit-for-bit
+identical** for any executor and shard count, but restructures the work
+into block queries:
+
+* **Batch admission.**  Candidates (ids whose distance to the current net
+  is >= r) are taken a batch at a time; one small batch-by-batch block
+  resolves, *exactly as the sequential scan would*, which batch members
+  survive the admissions before them (a member is admitted iff its
+  distance to every earlier-admitted batch member is >= r — the only way
+  its net-distance can have dropped below r since the batch was formed).
+* **Sharded min update.**  Admitted points fold into the running
+  net-distance array via ``min`` over (sources x span) blocks, mapped
+  across the executor's shards.  ``min`` over floats is exact and
+  order-independent, so shard geometry cannot change a single bit.
+* **Radius-capped rows.**  The scan only ever compares net-distances
+  against r, so any distance known to exceed r may be stored as ``+inf``.
+  Metrics exposing ``rows_within(sources, radius)`` (the lazy
+  shortest-path backend: Dijkstra with an early cutoff) exploit this —
+  each source explores only its r-ball instead of the whole graph.
+* **Carried state.**  A coarser scan's final net-distance array seeds the
+  next finer level of a nested hierarchy directly (values capped at the
+  coarser radius are still exact wherever they matter), eliminating the
+  per-level re-initialization entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.construction.executor import BuildExecutor, SerialExecutor
+
+__all__ = [
+    "ball_members_sharded",
+    "greedy_scan",
+    "min_distance_update",
+    "nearest_members_sharded",
+]
+
+#: Max elements per transient distance block (~8 MB of float64), so peak
+#: memory stays bounded at any n regardless of shard geometry.
+_BLOCK_ELEMS = 1 << 20
+
+#: Candidate batch size for the admission scan.
+_ADMIT_BATCH = 256
+
+
+def _pair_block(metric, heads: np.ndarray, radius: float) -> np.ndarray:
+    """The heads-by-heads distance block; entries > radius may be ``+inf``.
+
+    Uses the metric's radius-capped fast path when it has one (the lazy
+    graph backend explores only each source's radius-ball); otherwise an
+    exact batched gather.  Callers may only use the result through the
+    ``value >= radius`` predicate, where the cap is invisible.
+    """
+    rows_within = getattr(metric, "rows_within", None)
+    if rows_within is not None and np.isfinite(radius):
+        out = np.empty((heads.size, heads.size))
+        chunk = max(1, _BLOCK_ELEMS // max(1, metric.n))
+        for start in range(0, heads.size, chunk):
+            rows = rows_within(heads[start : start + chunk], radius)
+            out[start : start + rows.shape[0]] = rows[:, heads]
+        return out
+    return metric.distances_between(heads, heads)
+
+
+def _span_min(metric, sources, lo: int, hi: int) -> np.ndarray:
+    """Task: elementwise min over sources of d(s, x) for x in [lo, hi).
+
+    Sub-chunks the sources so the transient block never exceeds
+    :data:`_BLOCK_ELEMS` elements, whatever the caller's shard geometry.
+    """
+    sources = np.asarray(sources, dtype=np.intp)
+    out = np.full(hi - lo, np.inf)
+    if sources.size == 0 or hi <= lo:
+        return out
+    targets = np.arange(lo, hi)
+    chunk = max(1, _BLOCK_ELEMS // max(1, hi - lo))
+    for start in range(0, sources.size, chunk):
+        block = metric.distances_between(sources[start : start + chunk], targets)
+        np.minimum(out, block.min(axis=0), out=out)
+    return out
+
+
+def _source_min(metric, sources, radius: float) -> np.ndarray:
+    """Task: full-width elementwise min over a source chunk's capped rows."""
+    sources = np.asarray(sources, dtype=np.intp)
+    out = np.full(metric.n, np.inf)
+    chunk = max(1, _BLOCK_ELEMS // max(1, metric.n))
+    for start in range(0, sources.size, chunk):
+        block = metric.rows_within(sources[start : start + chunk], radius)
+        np.minimum(out, block.min(axis=0), out=out)
+    return out
+
+
+def min_distance_update(
+    metric,
+    min_dist: np.ndarray,
+    sources: np.ndarray,
+    r: Optional[float],
+    executor: BuildExecutor,
+) -> None:
+    """Fold d(source, ·) into ``min_dist`` in place, sharded.
+
+    Two shard geometries, picked by where the metric's cost lives:
+
+    * **Capped backends** (``rows_within``: the lazy graph metric, whose
+      per-source Dijkstra cost is independent of how many targets are
+      read) shard over *source* chunks — each source is explored exactly
+      once regardless of shard count, and a process pool parallelizes the
+      explorations.
+    * Everything else (euclidean, dense matrix: per-element block cost)
+      shards over *target spans*, each worker computing only its slice.
+
+    Both reduce by exact order-independent ``min``, so the geometry never
+    changes a bit of the result.
+    """
+    sources = np.asarray(sources, dtype=np.intp)
+    if sources.size == 0:
+        return
+    capped = (
+        r is not None
+        and np.isfinite(r)
+        and getattr(metric, "rows_within", None) is not None
+    )
+    if capped:
+        bounds = [
+            (sources.size * i) // executor.shards
+            for i in range(executor.shards + 1)
+        ]
+        tasks = [
+            (sources[bounds[i] : bounds[i + 1]], r)
+            for i in range(executor.shards)
+            if bounds[i + 1] > bounds[i]
+        ]
+        for part in executor.map(_source_min, tasks, payload=metric):
+            np.minimum(min_dist, part, out=min_dist)
+        return
+    spans = executor.spans(min_dist.size)
+    tasks = [(sources, lo, hi) for lo, hi in spans]
+    for (lo, hi), part in zip(spans, executor.map(_span_min, tasks, payload=metric)):
+        np.minimum(min_dist[lo:hi], part, out=min_dist[lo:hi])
+
+
+def greedy_scan(
+    metric,
+    r: float,
+    seed_points: Optional[Sequence[int]] = None,
+    executor: Optional[BuildExecutor] = None,
+    min_dist: Optional[np.ndarray] = None,
+    batch: int = _ADMIT_BATCH,
+) -> Tuple[List[int], np.ndarray]:
+    """The batched id-order farthest-point scan; returns ``(net, min_dist)``.
+
+    Identical output to the sequential scan for every executor.  When
+    ``min_dist`` is given it must already hold the (possibly capped, at
+    some radius >= r) distances to ``seed_points``, e.g. the array a
+    coarser :func:`greedy_scan` returned — the seed initialization is
+    then skipped.  The returned array holds, for every node, the distance
+    to the final net, capped at values >= r (exact below r).
+    """
+    ex = executor if executor is not None else SerialExecutor()
+    n = metric.n
+    net: List[int] = list(seed_points) if seed_points else []
+    if min_dist is None:
+        min_dist = np.full(n, np.inf)
+        if net:
+            min_distance_update(metric, min_dist, np.asarray(net, dtype=np.intp), r, ex)
+    pos = 0
+    while pos < n:
+        candidates = np.flatnonzero(min_dist[pos:] >= r)
+        if candidates.size == 0:
+            break
+        heads = (pos + candidates[:batch]).astype(np.intp)
+        if heads.size == 1:
+            admitted = heads
+        else:
+            # One block among the batch resolves intra-batch conflicts in
+            # the exact order the sequential scan would visit them.
+            block = _pair_block(metric, heads, r)
+            survivors_min = np.full(heads.size, np.inf)
+            keep: List[int] = []
+            for idx in range(heads.size):
+                if survivors_min[idx] >= r:
+                    keep.append(idx)
+                    np.minimum(survivors_min, block[idx], out=survivors_min)
+            admitted = heads[keep]
+        net.extend(int(v) for v in admitted)
+        pos = int(heads[-1]) + 1
+        # Full-span update (not just the unsettled suffix): the returned
+        # array must be the capped distance-to-net for *every* node, so it
+        # can seed the next finer level of a nested hierarchy.
+        min_distance_update(metric, min_dist, admitted, r, ex)
+    return net, min_dist
+
+
+# -- ring-building blocks ----------------------------------------------
+
+
+def _ball_members_task(metric, us, candidates, radius) -> List[np.ndarray]:
+    """Task: ``candidates`` within the closed ball ``B_u(radius)`` per u."""
+    us = np.asarray(us, dtype=np.intp)
+    candidates = np.asarray(candidates, dtype=np.intp)
+    out: List[np.ndarray] = []
+    chunk = max(1, _BLOCK_ELEMS // max(1, candidates.size))
+    for start in range(0, us.size, chunk):
+        block = metric.distances_between(us[start : start + chunk], candidates)
+        for i in range(block.shape[0]):
+            out.append(candidates[block[i] <= radius])
+    return out
+
+
+def ball_members_sharded(
+    metric,
+    us: np.ndarray,
+    candidates: np.ndarray,
+    radius: float,
+    executor: Optional[BuildExecutor] = None,
+) -> List[np.ndarray]:
+    """``candidates ∩ B_u(radius)`` for many centers, sharded over centers."""
+    ex = executor if executor is not None else SerialExecutor()
+    us = np.asarray(us, dtype=np.intp)
+    candidates = np.asarray(candidates, dtype=np.intp)
+    spans = ex.spans(us.size)
+    tasks = [(us[lo:hi], candidates, radius) for lo, hi in spans]
+    out: List[np.ndarray] = []
+    for part in ex.map(_ball_members_task, tasks, payload=metric):
+        out.extend(part)
+    return out
+
+
+def _nearest_members_task(metric, us, candidates) -> np.ndarray:
+    """Task: the candidate nearest to each u (first index on ties)."""
+    us = np.asarray(us, dtype=np.intp)
+    candidates = np.asarray(candidates, dtype=np.intp)
+    out = np.empty(us.size, dtype=np.intp)
+    chunk = max(1, _BLOCK_ELEMS // max(1, candidates.size))
+    for start in range(0, us.size, chunk):
+        block = metric.distances_between(us[start : start + chunk], candidates)
+        out[start : start + block.shape[0]] = candidates[np.argmin(block, axis=1)]
+    return out
+
+
+def nearest_members_sharded(
+    metric,
+    us: np.ndarray,
+    candidates: np.ndarray,
+    executor: Optional[BuildExecutor] = None,
+) -> np.ndarray:
+    """The nearest candidate per center, sharded over centers."""
+    ex = executor if executor is not None else SerialExecutor()
+    us = np.asarray(us, dtype=np.intp)
+    candidates = np.asarray(candidates, dtype=np.intp)
+    spans = ex.spans(us.size)
+    tasks = [(us[lo:hi], candidates) for lo, hi in spans]
+    parts = ex.map(_nearest_members_task, tasks, payload=metric)
+    if not parts:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(parts)

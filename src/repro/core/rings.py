@@ -132,11 +132,15 @@ def net_rings(
     nets: NestedNets,
     radius_for_level: Callable[[int], float],
     levels: Optional[Iterable[int]] = None,
+    executor=None,
 ) -> RingsOfNeighbors:
     """Deterministic rings ``Y_uj = B_u(radius_for_level(j)) ∩ G_j``.
 
     This is the Theorem 2.1 construction with ``radius_for_level(j) =
     4Δ/(δ 2^j)`` and the Theorem 4.1 construction with ``2^{j+2}/δ``.
+    ``executor`` (a :class:`repro.construction.BuildExecutor`, defaulting
+    to the hierarchy's own) shards each level's block scan over the
+    centers without changing a single member.
     """
     rings = RingsOfNeighbors(metric)
     level_list = list(levels) if levels is not None else list(range(nets.levels))
@@ -145,7 +149,8 @@ def net_rings(
     # (node, level): the builder's cost drops to a handful of big gathers.
     for j in level_list:
         r = radius_for_level(j)
-        for u, members in zip(all_nodes, nets.members_in_balls(j, all_nodes, r)):
+        members_per_u = nets.members_in_balls(j, all_nodes, r, executor=executor)
+        for u, members in zip(all_nodes, members_per_u):
             rings.add_ring(
                 Ring(u, j, r, tuple(int(x) for x in members))
             )

@@ -101,7 +101,7 @@ def evaluate_estimator(
 
 def evaluate_routing(
     scheme: Any,
-    distance_matrix: np.ndarray,
+    distance_matrix: Optional[np.ndarray],
     plan: PlanLike,
     *,
     metric: Optional[Union[MetricSpace, int]] = None,
@@ -109,13 +109,22 @@ def evaluate_routing(
 ):
     """Route one packet per planned pair and aggregate a RoutingStats.
 
-    ``metric`` is only needed for distance-aware plans (stratified); it
-    defaults to the scheme's node count.  The returned object is the
+    ``distance_matrix`` supplies true shortest-path distances for the
+    stretch computation; pass ``None`` to take them from one batched
+    ``metric.pairwise`` query instead (the lazy, matrix-free backends —
+    bit-for-bit equal where both exist).  ``metric`` is otherwise only
+    needed for distance-aware plans (stratified); it defaults to the
+    scheme's node count.  The returned object is the
     :class:`repro.routing.base.RoutingStats` the per-pair path produced,
     bit-for-bit at equal pair sets.
     """
     from repro.routing.base import RoutingStats  # local: avoids layer cycle
 
+    if distance_matrix is None and not isinstance(metric, MetricSpace):
+        raise ValueError(
+            "evaluate_routing needs either a distance matrix or a "
+            "MetricSpace to take true distances from"
+        )
     n = scheme.graph.n
     pairs = resolve_pairs(plan, metric if metric is not None else n)
     m = pairs.shape[0]
@@ -131,7 +140,10 @@ def evaluate_routing(
             hops[i] = result.hops
             routed[i] = result.length(scheme.graph)
 
-    true = distance_matrix[pairs[:, 0], pairs[:, 1]]
+    if distance_matrix is None:
+        true = metric.pairwise(pairs)
+    else:
+        true = distance_matrix[pairs[:, 0], pairs[:, 1]]
     true_r = true[reached]
     stretches = np.where(true_r > 0, routed[reached] / np.where(true_r > 0, true_r, 1.0), 1.0)
     delivered = int(reached.sum())

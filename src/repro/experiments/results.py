@@ -16,6 +16,7 @@ every artifact under ``benchmarks/results/`` goes through one encoder.
 from __future__ import annotations
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -281,27 +282,82 @@ class ResultSet:
 
     # -- reporting -----------------------------------------------------
 
-    def rows(self, columns: Sequence[str]) -> List[List[Any]]:
+    def rows(
+        self, columns: Sequence[str], over_seeds: Optional[str] = None
+    ) -> List[List[Any]]:
         """One row per result: cell fields (``workload``/``label``/``n``/
-        ``seed``), then named metrics/probes looked up per column."""
-        out = []
+        ``seed``), then named metrics/probes looked up per column.
+
+        ``over_seeds="mean"`` aggregates the per-seed rows of each cell
+        group (same workload, scheme, config and plan — only the seed
+        varies) into one row: numeric columns become the mean over seeds,
+        the ``seed`` column becomes the number of seeds aggregated, and a
+        column name suffixed ``:ci95`` yields the group's 95% confidence
+        half-width (``1.96·s/√k``, 0.0 for a single seed) for the base
+        metric — so a suite can declare ``seeds=[0..4]`` and report
+        mean ± CI without bench-side post-processing.  Non-numeric values
+        pass through when constant across the group, else become None.
+        Group order follows first appearance.
+        """
+        if over_seeds is None:
+            return [[self._cell_value(r, col) for col in columns]
+                    for r in self.results]
+        if over_seeds != "mean":
+            raise ValueError(
+                f"over_seeds must be None or 'mean', got {over_seeds!r}"
+            )
+        groups: "Dict[str, List[CellResult]]" = {}
         for r in self.results:
+            key_cell = {k: v for k, v in r.cell.items() if k != "seed"}
+            key = json.dumps(jsonify(key_cell), sort_keys=True)
+            groups.setdefault(key, []).append(r)
+        out = []
+        for members in groups.values():
             row: List[Any] = []
             for col in columns:
-                if col == "workload":
-                    row.append(r.workload.get("workload"))
-                elif col == "label":
-                    row.append(r.label)
-                elif col == "n":
-                    row.append(r.workload.get("n"))
-                elif col == "seed":
-                    row.append(r.seed)
-                elif col == "size_bits":
-                    row.append(r.size_bits)
+                base, _, suffix = col.partition(":")
+                values = [self._cell_value(r, base) for r in members]
+                numeric = [
+                    v for v in values
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                ]
+                if suffix == "ci95":
+                    if len(numeric) != len(values) or not numeric:
+                        row.append(None)
+                    elif len(numeric) == 1:
+                        row.append(0.0)
+                    else:
+                        std = float(np.std(numeric, ddof=1))
+                        row.append(1.96 * std / math.sqrt(len(numeric)))
+                elif suffix:
+                    raise ValueError(
+                        f"unknown aggregate suffix {suffix!r} in column "
+                        f"{col!r}; supported: ci95"
+                    )
+                elif base == "seed":
+                    row.append(len(members))
+                elif len(numeric) == len(values) and numeric:
+                    row.append(float(np.mean(numeric)))
+                elif all(v == values[0] for v in values):
+                    row.append(values[0])
                 else:
-                    row.append(r.metric(col))
+                    row.append(None)
             out.append(row)
         return out
+
+    @staticmethod
+    def _cell_value(r: "CellResult", col: str) -> Any:
+        if col == "workload":
+            return r.workload.get("workload")
+        if col == "label":
+            return r.label
+        if col == "n":
+            return r.workload.get("n")
+        if col == "seed":
+            return r.seed
+        if col == "size_bits":
+            return r.size_bits
+        return r.metric(col)
 
     def diff(self, other: "ResultSet", rtol: float = 1e-9) -> Dict[str, Any]:
         """Cell-keyed comparison: missing cells and changed metric values.

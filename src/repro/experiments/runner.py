@@ -8,11 +8,19 @@ several schemes on one workload realize the metric once) and
 provenance and persists the :class:`~repro.experiments.results.ResultSet`
 under ``benchmarks/results/``.
 
-Parallelism is *chunk-parallel across a process pool*: cells are grouped
-by workload spec and each worker runs one group serially with its own
-build cache, so a workload's O(n²) metric is realized exactly once per
-worker rather than once per cell.  Results are deterministic and
-order-stable regardless of ``processes``.
+Two independent parallelism axes:
+
+* ``processes`` — *across cells*: workload groups fan out over a process
+  pool, each worker running one group serially with its own build cache.
+  ``None``/``0`` resolves to ``os.cpu_count()`` (and the resolved value
+  is recorded in the ResultSet provenance); ``1`` forces serial.
+* ``build_workers`` — *within one build*: the construction scans
+  (nets, rings) shard over a
+  :class:`repro.construction.BuildExecutor`.  ``None`` is serial, ``0``
+  resolves to every core.  When both axes are requested, the workers of
+  the cell pool shard in-process (chunked) instead of nesting pools.
+
+Results are deterministic and order-stable regardless of either knob.
 
 ``resume=True`` reloads a previously persisted set for the same spec
 hash and only executes the missing cells — a killed grid run picks up
@@ -25,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.construction import make_executor, resolve_workers
 from repro.experiments.probes import run_probes
 from repro.experiments.results import (
     RESULTSET_SUFFIX,
@@ -39,7 +48,7 @@ from repro.experiments.spec import Cell, ExperimentSpec
 __all__ = ["run", "run_cell"]
 
 
-def run_cell(cell: Cell, cache=None) -> CellResult:
+def run_cell(cell: Cell, cache=None, executor=None) -> CellResult:
     """Execute one grid cell: build, evaluate over the plan, run probes."""
     from repro import api
 
@@ -50,6 +59,7 @@ def run_cell(cell: Cell, cache=None) -> CellResult:
         seed=cell.seed,
         config=dict(cell.config),
         cache=cache,
+        executor=executor,
     )
     t1 = time.perf_counter()
     metrics = api.evaluate(fitted, cell.plan)
@@ -73,18 +83,23 @@ def run_cell(cell: Cell, cache=None) -> CellResult:
     )
 
 
-def _run_group(cell_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+def _run_group(payload) -> List[Dict[str, Any]]:
     """Worker entry point: run one workload group with a private cache.
 
     Takes and returns plain dicts so the payload pickles cheaply across
-    the process pool.
+    the process pool.  Build sharding inside a pooled worker stays
+    in-process (chunked executor) — pools are never nested.
     """
     from repro.api import BuildCache
 
+    cell_dicts, build_shards = payload
     cache = BuildCache(maxsize=4)
+    executor = make_executor(1, shards=build_shards) if build_shards > 1 else None
     out = []
     for data in cell_dicts:
-        out.append(run_cell(Cell.from_dict(data), cache=cache).to_dict())
+        out.append(
+            run_cell(Cell.from_dict(data), cache=cache, executor=executor).to_dict()
+        )
     return out
 
 
@@ -99,6 +114,7 @@ def run(
     spec: ExperimentSpec,
     *,
     processes: Optional[int] = None,
+    build_workers: Optional[int] = None,
     resume: bool = False,
     out_dir: Optional[Union[str, Path]] = None,
     persist: bool = True,
@@ -110,8 +126,12 @@ def run(
     Parameters
     ----------
     processes:
-        ``None``/``0``/``1`` runs serially in-process; ``>= 2`` fans the
-        workload groups out over a process pool of that size.
+        Cell-level process pool size.  ``None``/``0`` resolves from
+        ``os.cpu_count()``; the resolved value lands in the provenance.
+        A resolved value of 1 runs serially in-process.
+    build_workers:
+        Construction-scan sharding inside each build (``None`` = serial,
+        ``0`` = every core); see :mod:`repro.construction`.
     resume:
         Reuse cell results from a previously persisted set for the same
         spec (matched by spec hash; a stale file for a *different* grid
@@ -122,6 +142,10 @@ def run(
         Optional :class:`~repro.api.BuildCache` for the serial path
         (defaults to the process-wide facade cache).
     """
+    resolved_processes = resolve_workers(processes)
+    resolved_build = (
+        0 if build_workers is None else resolve_workers(build_workers)
+    )
     cells = spec.cells()
     out_path = Path(out_dir) if out_dir is not None else default_results_dir()
     target = out_path / f"{spec.name}{RESULTSET_SUFFIX}"
@@ -144,27 +168,39 @@ def run(
 
     fresh: Dict[str, CellResult] = {}
     if todo:
-        if processes and processes >= 2:
+        if resolved_processes >= 2 and len(todo) > 1:
             from concurrent.futures import ProcessPoolExecutor
 
             groups = _group_by_workload(todo)
-            payloads = [[c.to_dict() for c in group] for group in groups]
-            with ProcessPoolExecutor(max_workers=processes) as pool:
+            shards = resolved_build if resolved_build > 1 else 1
+            payloads = [
+                ([c.to_dict() for c in group], shards) for group in groups
+            ]
+            with ProcessPoolExecutor(max_workers=resolved_processes) as pool:
                 for group, results in zip(groups, pool.map(_run_group, payloads)):
                     for cell, data in zip(group, results):
                         fresh[cell.key] = CellResult.from_dict(data)
                         if verbose:
                             print(f"[{spec.name}] done {cell.title}")
         else:
-            for cell in todo:
-                fresh[cell.key] = run_cell(cell, cache=cache)
-                if verbose:
-                    print(f"[{spec.name}] done {cell.title}")
+            executor = (
+                make_executor(resolved_build) if resolved_build > 1 else None
+            )
+            try:
+                for cell in todo:
+                    fresh[cell.key] = run_cell(cell, cache=cache, executor=executor)
+                    if verbose:
+                        print(f"[{spec.name}] done {cell.title}")
+            finally:
+                if executor is not None:
+                    executor.close()
 
     results = [done.get(c.key) or fresh[c.key] for c in cells]
     provenance = run_provenance(spec)
     provenance["cells"] = len(cells)
     provenance["resumed_cells"] = len(cells) - len(todo)
+    provenance["processes"] = resolved_processes
+    provenance["build_workers"] = max(1, resolved_build)
     result_set = ResultSet(spec=spec, results=results, provenance=provenance)
     if persist:
         result_set.save(target)

@@ -231,6 +231,91 @@ def _distributed() -> ExperimentSpec:
     )
 
 
+# ----------------------------------------------------------------------
+# Large-scale suites (n = 10⁴): the schemes whose evaluation is fully
+# vectorized and whose structures stay o(n²).  Graph workloads select the
+# lazy shortest-path backend (dense=False) so nothing Θ(n²) is ever
+# allocated; net construction runs on the sharded batched scan (thread
+# ``repro run --build-workers`` through it).
+# ----------------------------------------------------------------------
+
+
+@SUITES.register("table1-large",
+                 summary="Table 1 at n=10⁴: lazy graph backend, matrix-free "
+                         "routing baseline, sharded nets")
+def _table1_large() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "table1-large",
+        description=(
+            "The Table 1 setting pushed to n = 10⁴ on a kNN doubling "
+            "graph with the lazy (dense=False) shortest-path backend: the "
+            "stretch-1 baseline routes on lazy target-keyed first hops, "
+            "the beacon triangulation supplies the estimation columns, "
+            "and the net-hierarchy probe builds the full nested 2^j-net "
+            "stack through the sharded scan — no Θ(n²) allocation "
+            "anywhere."
+        ),
+        workloads=[
+            Workload.make("knn-graph", n=10_000, k=4, seed=310, dense=False)
+        ],
+        schemes=[
+            SchemeSpec.make("route-trivial", label="trivial"),
+            SchemeSpec.make("beacons", label="beacons-64", beacons=64),
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=300, seed=1)],
+        overrides=[
+            CellOverride(scheme="trivial", probes=("net-hierarchy",)),
+        ],
+    )
+
+
+@SUITES.register("stretch-large",
+                 summary="estimation stretch vs beacon order at n=10⁴, "
+                         "mean±CI over 5 seeds")
+def _stretch_large() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "stretch-large",
+        description=(
+            "The (ε,δ) trade-off Theorem 3.2 removes, measured at scale: "
+            "distance-estimate stretch of the common-beacon baseline as "
+            "the order grows, on 10⁴-point euclidean and clustered "
+            "metrics, five beacon draws per cell — report with "
+            "rows(..., over_seeds='mean') for mean ± CI columns."
+        ),
+        workloads=[
+            Workload.make("hypercube", n=10_000, dim=2, seed=91),
+            Workload.make("clustered", n=10_000, clusters=32, dim=3, seed=92),
+        ],
+        schemes=[
+            SchemeSpec.make("beacons", label=f"order-{k}", beacons=k)
+            for k in (16, 64, 256)
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=2000, seed=5)],
+        seeds=(0, 1, 2, 3, 4),
+    )
+
+
+@SUITES.register("dls-large",
+                 summary="distance-labeling bits vs accuracy at n=10⁴")
+def _dls_large() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "dls-large",
+        description=(
+            "The labeling story at n = 10⁴: Thorup–Zwick k=2 bunches "
+            "(3-stretch worst case) against common-beacon labels at "
+            "log-n and 64 beacons — label bits (size_bits) vs measured "
+            "relative error on a sampled plan."
+        ),
+        workloads=[Workload.make("hypercube", n=10_000, dim=2, seed=93)],
+        schemes=[
+            SchemeSpec.make("tz-oracle", label="tz-k2", k=2),
+            SchemeSpec.make("beacons", label="beacons-14", beacons=14),
+            SchemeSpec.make("beacons", label="beacons-64", beacons=64),
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=2000, seed=6)],
+    )
+
+
 def render_index() -> str:
     """The EXPERIMENTS.md index, regenerated from the registered suites."""
     lines = [

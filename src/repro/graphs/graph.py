@@ -26,6 +26,7 @@ class WeightedGraph:
         self._n = n
         self._adjacency: List[List[Tuple[NodeId, float]]] = [[] for _ in range(n)]
         self._edge_index: List[Dict[NodeId, int]] = [dict() for _ in range(n)]
+        self._max_out_degree: int = 0
 
     @property
     def n(self) -> int:
@@ -50,6 +51,9 @@ class WeightedGraph:
             if idx is None:
                 self._edge_index[a][b] = len(self._adjacency[a])
                 self._adjacency[a].append((b, float(weight)))
+                self._max_out_degree = max(
+                    self._max_out_degree, len(self._adjacency[a])
+                )
             else:
                 self._adjacency[a][idx] = (b, float(weight))
 
@@ -68,8 +72,9 @@ class WeightedGraph:
         return len(self._adjacency[u])
 
     def max_out_degree(self) -> int:
-        """The paper's ``Dout``."""
-        return max(self.out_degree(u) for u in range(self._n))
+        """The paper's ``Dout`` (maintained incrementally: per-node size
+        accounting calls this once per node, so it must be O(1))."""
+        return self._max_out_degree
 
     def link_index(self, u: NodeId, v: NodeId) -> int:
         """The local index of edge u->v in u's adjacency (paper's φ_u(v))."""

@@ -43,10 +43,42 @@ class FirstHopTable:
     ``first_hop_link(u, t)`` the corresponding local link index — the form
     Theorem 2.1 stores.  Hops are consistent across nodes (see module
     docstring), so chaining them always traces an exact shortest path.
+
+    Two backends:
+
+    * ``dense=True`` (default) — per-source predecessor trees for all n
+      sources, Θ(n²) memory, O(1) lookups: right up to a few thousand
+      nodes, and bit-for-bit the historical behaviour.
+    * ``dense=False`` — **lazy, target-keyed**: one Dijkstra tree rooted
+      at each *queried* target, kept in a byte-bounded LRU.  The hop from
+      u toward t is u's parent in t's tree, so every hop along one
+      packet's route reads the same cached row; memory never exceeds the
+      cache budget.  Hops remain consistent (all pointers toward t come
+      from t's single predecessor forest), though tie-breaking between
+      equal-length shortest paths may differ from the dense backend.
     """
 
-    def __init__(self, graph: WeightedGraph) -> None:
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        dense: bool = True,
+        row_cache_bytes: Optional[int] = None,
+    ) -> None:
+        # Local import: RowCache is metric-agnostic plumbing, but lives in
+        # repro.metrics.base; keep the package layering acyclic-by-module.
+        from repro.metrics.base import DEFAULT_ROW_CACHE_BYTES, RowCache
+
         self.graph = graph
+        self.dense = bool(dense)
+        if not self.dense:
+            if not graph.is_connected():
+                raise ValueError("graph is not connected")
+            self.dist = None
+            self._csr = graph.to_scipy_csr()
+            self._rows = RowCache(
+                DEFAULT_ROW_CACHE_BYTES if row_cache_bytes is None else row_cache_bytes
+            )
+            return
         self.dist, self._pred = _predecessors(graph)
         if not np.all(np.isfinite(self.dist)):
             raise ValueError("graph is not connected")
@@ -75,12 +107,37 @@ class FirstHopTable:
         # (dijkstra with directed=False on an undirected graph gives
         # per-source trees; first[u][t] is the hop out of u.)
 
+    def _target_row(self, t: NodeId) -> np.ndarray:
+        """Lazy backend: the (2, n) [distances; hops-toward-t] block of t.
+
+        Row 1 holds, per node u, u's parent in the shortest-path tree
+        rooted at t — i.e. the first hop of a shortest u->t path — stored
+        as float64 (exact for any realistic n).
+        """
+        cached = self._rows.get(t)
+        if cached is None:
+            from scipy.sparse.csgraph import dijkstra
+
+            dist, pred = dijkstra(
+                self._csr, directed=False, indices=[t], return_predecessors=True
+            )
+            hops = pred[0].astype(np.float64)
+            hops[t] = t
+            cached = self._rows.put(t, np.stack([dist[0], hops]))
+        return cached
+
     def distance(self, u: NodeId, t: NodeId) -> float:
-        return float(self.dist[u, t])
+        if self.dense:
+            return float(self.dist[u, t])
+        return float(self._target_row(t)[0, u])
 
     def first_hop(self, u: NodeId, t: NodeId) -> NodeId:
         """Neighbor of u on a shortest u->t path (u itself when u == t)."""
-        return int(self._first[u, t])
+        if self.dense:
+            return int(self._first[u, t])
+        if u == t:
+            return int(u)
+        return int(self._target_row(t)[1, u])
 
     def first_hop_link(self, u: NodeId, t: NodeId) -> Optional[int]:
         """Local link index of the first hop, or None when u == t."""

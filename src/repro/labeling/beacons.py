@@ -52,9 +52,12 @@ class BeaconTriangulation:
         self.beacons = np.asarray(sorted(int(b) for b in beacons), dtype=int)
         self.codec = DistanceCodec.for_metric(metric, mantissa_bits)
         # labels[u, j] = stored (quantized) distance from u to beacon j —
-        # one batched (n, k) distance block, quantized in one pass.
+        # one batched distance block, quantized in one pass.  Computed in
+        # the (k, n) orientation and transposed: distances are symmetric,
+        # and row-on-demand backends (the lazy graph metric) then pay k
+        # row computations instead of n.
         self._labels = self.codec.roundtrip_many(
-            metric.distances_between(np.arange(metric.n), self.beacons)
+            metric.distances_between(self.beacons, np.arange(metric.n)).T
         )
 
     @property

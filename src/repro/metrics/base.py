@@ -53,6 +53,10 @@ class RowCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        #: high-water marks over the cache's lifetime (survive clear()),
+        #: the "peak resident rows" number the build benchmarks record.
+        self.peak_rows = 0
+        self.peak_bytes = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -79,11 +83,25 @@ class RowCache:
         while self._bytes > self.budget_bytes and len(self._rows) > 1:
             _, evicted = self._rows.popitem(last=False)
             self._bytes -= evicted.nbytes
+        self.peak_rows = max(self.peak_rows, len(self._rows))
+        self.peak_bytes = max(self.peak_bytes, self._bytes)
         return row
 
     def clear(self) -> None:
         self._rows.clear()
         self._bytes = 0
+
+    def stats(self) -> dict:
+        """Occupancy/traffic counters (peaks are lifetime high-water marks)."""
+        return {
+            "rows": len(self._rows),
+            "bytes": self._bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "peak_rows": self.peak_rows,
+            "peak_bytes": self.peak_bytes,
+        }
 
 
 class MetricSpace(abc.ABC):

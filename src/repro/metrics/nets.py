@@ -7,6 +7,15 @@ from an existing set of far-apart points — which is exactly what makes the
 *nested* hierarchy ``G_log∆ ⊂ ... ⊂ G_1 ⊂ G_0`` of Theorem 3.2 possible:
 each coarser net is a valid seed for the next finer one.
 
+Construction runs on the batched scan of :mod:`repro.construction.nets`:
+candidates are admitted a block at a time and the distance-to-net array
+is updated over sharded (sources x span) blocks, bit-for-bit identical
+to the sequential id-order scan for any
+:class:`~repro.construction.BuildExecutor` (serial, chunked, or a
+process pool) and any shard count.  :class:`NestedNets` additionally
+threads the distance-to-net array from each coarser level into the next
+finer one, so a whole hierarchy costs one scan's worth of updates.
+
 Lemma 1.4 (at most ``(4 r'/r)^α`` net points in any radius-r' ball) is what
 bounds every ring cardinality in the paper; tests verify it empirically.
 """
@@ -18,6 +27,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._types import NodeId
+from repro.construction.executor import BuildExecutor
+from repro.construction.nets import (
+    ball_members_sharded,
+    greedy_scan,
+    nearest_members_sharded,
+)
 from repro.metrics.base import MetricSpace
 
 #: Max elements per batched distance block (~8 MB of float64) used by the
@@ -29,6 +44,7 @@ def greedy_net(
     metric: MetricSpace,
     r: float,
     seed_points: Optional[Sequence[NodeId]] = None,
+    executor: Optional[BuildExecutor] = None,
 ) -> List[NodeId]:
     """Construct an r-net greedily (paper §1.1).
 
@@ -37,29 +53,11 @@ def greedy_net(
     coarser net) and adds any node at distance >= r from all current net
     points until the covering property holds.
 
-    Nodes are scanned in id order, so the construction is deterministic.
+    Nodes are scanned in id order, so the construction is deterministic —
+    and independent of ``executor``, which only changes how the distance
+    blocks are scheduled (see :mod:`repro.construction`).
     """
-    n = metric.n
-    net: List[NodeId] = list(seed_points) if seed_points else []
-    # min_dist[v] tracks the distance from v to the current net; v joins the
-    # net when that distance is >= r, which preserves packing (>= r) and,
-    # once the scan finishes, guarantees covering (every non-member is < r
-    # from some member).  The id-order scan is batched: min_dist only
-    # decreases, so the smallest remaining id with min_dist >= r is exactly
-    # the next node the sequential scan would admit, and everything before
-    # it is settled for good.
-    min_dist = np.full(n, np.inf)
-    for s in net:
-        np.minimum(min_dist, metric.distances_from(s), out=min_dist)
-    pos = 0
-    while pos < n:
-        candidates = np.flatnonzero(min_dist[pos:] >= r)
-        if candidates.size == 0:
-            break
-        v = pos + int(candidates[0])
-        net.append(v)
-        np.minimum(min_dist, metric.distances_from(v), out=min_dist)
-        pos = v + 1
+    net, _ = greedy_scan(metric, r, seed_points=seed_points, executor=executor)
     return net
 
 
@@ -105,7 +103,8 @@ class NestedNets:
       default, with ``base_radius=1``.
 
     Internally the hierarchy is always built coarsest-first so nesting
-    holds by construction.
+    holds by construction, carrying the distance-to-net array between
+    levels so each level only pays for its newly admitted points.
     """
 
     def __init__(
@@ -114,6 +113,7 @@ class NestedNets:
         levels: int,
         base_radius: float = 1.0,
         descending: bool = False,
+        executor: Optional[BuildExecutor] = None,
     ) -> None:
         if levels < 1:
             raise ValueError("levels must be positive")
@@ -121,14 +121,25 @@ class NestedNets:
         self.levels = levels
         self.base_radius = base_radius
         self.descending = descending
+        self.executor = executor
 
         self._nets: Dict[int, List[NodeId]] = {}
         # Build from the coarsest level down, seeding each finer net with
-        # the coarser one so that nesting holds.
+        # the coarser one so that nesting holds.  The carried min-distance
+        # array (capped at the coarser, i.e. larger, radius — exact
+        # wherever the finer scan compares it) replaces the per-level seed
+        # re-initialization.
         order = sorted(range(levels), key=self.radius_of, reverse=True)
         seed: List[NodeId] = []
+        carried: Optional[np.ndarray] = None
         for j in order:
-            seed = greedy_net(metric, self.radius_of(j), seed_points=seed)
+            seed, carried = greedy_scan(
+                metric,
+                self.radius_of(j),
+                seed_points=seed,
+                executor=executor,
+                min_dist=carried,
+            )
             self._nets[j] = seed
 
     def radius_of(self, j: int) -> float:
@@ -157,28 +168,48 @@ class NestedNets:
         return candidates[row[candidates] <= r]
 
     def members_in_balls(
-        self, j: int, us: Sequence[NodeId], r: float
+        self,
+        j: int,
+        us: Sequence[NodeId],
+        r: float,
+        executor: Optional[BuildExecutor] = None,
     ) -> List[np.ndarray]:
         """``members_in_ball(j, u, r)`` for many centers in one batched query.
 
-        Computes a ``(len(us), |G_j|)`` distance block per chunk instead of
-        one full row per center — the hot path of the ring builders.
+        Computes ``(centers, |G_j|)`` distance blocks instead of one full
+        row per center — the hot path of the ring builders — sharded over
+        the centers when an executor is given (defaults to the one the
+        hierarchy was built with).
         """
-        candidates = self.net_array(j)
         us = np.asarray(list(us), dtype=np.intp)
-        out: List[np.ndarray] = []
-        chunk = max(1, _PACKING_CHUNK_ELEMS // max(1, candidates.size))
-        for start in range(0, us.size, chunk):
-            block = self.metric.distances_between(us[start : start + chunk], candidates)
-            for i in range(block.shape[0]):
-                out.append(candidates[block[i] <= r])
-        return out
+        return ball_members_sharded(
+            self.metric,
+            us,
+            self.net_array(j),
+            r,
+            executor=executor if executor is not None else self.executor,
+        )
 
     def nearest_member(self, j: int, u: NodeId) -> NodeId:
         """The level-``j`` net point closest to ``u`` (covering => within radius)."""
         candidates = self.net_array(j)
         row = self.metric.distances_from(u)
         return int(candidates[np.argmin(row[candidates])])
+
+    def nearest_members(
+        self,
+        j: int,
+        us: Sequence[NodeId],
+        executor: Optional[BuildExecutor] = None,
+    ) -> np.ndarray:
+        """:meth:`nearest_member` for many centers in batched blocks."""
+        us = np.asarray(list(us), dtype=np.intp)
+        return nearest_members_sharded(
+            self.metric,
+            us,
+            self.net_array(j),
+            executor=executor if executor is not None else self.executor,
+        )
 
     def __len__(self) -> int:
         return self.levels

@@ -46,13 +46,18 @@ class LabelRouting(RoutingScheme):
         estimator: str = "triangulation",
         metric: Optional[ShortestPathMetric] = None,
         label_delta: float = 0.45,
+        executor=None,
     ) -> None:
         if not 0 < delta < 1:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
         self.graph = graph
         self.delta = delta
         self.metric = metric if metric is not None else ShortestPathMetric(graph)
-        self.first_hops = FirstHopTable(graph)
+        self.first_hops = FirstHopTable(
+            graph,
+            dense=getattr(self.metric, "dense", True),
+            row_cache_bytes=getattr(self.metric, "row_cache_budget", None),
+        )
         self.estimator_kind = estimator
         self._init_estimator(estimator, label_delta)
 
@@ -60,20 +65,23 @@ class LabelRouting(RoutingScheme):
         min_d = self.metric.min_distance()
         diameter = self.metric.diameter()
         self.levels = int(math.ceil(math.log2(diameter / min_d))) + 2
-        self.nets = NestedNets(self.metric, levels=self.levels, base_radius=min_d)
+        self.nets = NestedNets(
+            self.metric, levels=self.levels, base_radius=min_d, executor=executor
+        )
         self._ring_radius = [
             min_d * (2.0 ** (j + 2)) / delta for j in range(self.levels)
         ]
+        # One sharded block scan per level instead of a row per (u, j).
+        all_nodes = range(graph.n)
+        neighbor_sets: List[set] = [set() for _ in all_nodes]
+        for j in range(self.levels):
+            members = self.nets.members_in_balls(j, all_nodes, self._ring_radius[j])
+            for u, found in zip(all_nodes, members):
+                neighbor_sets[u].update(int(x) for x in found)
         self._neighbors: List[Tuple[NodeId, ...]] = []
-        for u in range(graph.n):
-            out: set[NodeId] = set()
-            for j in range(self.levels):
-                out.update(
-                    int(x)
-                    for x in self.nets.members_in_ball(j, u, self._ring_radius[j])
-                )
-            out.discard(u)
-            self._neighbors.append(tuple(sorted(out)))
+        for u in all_nodes:
+            neighbor_sets[u].discard(u)
+            self._neighbors.append(tuple(sorted(neighbor_sets[u])))
 
     # -- label machinery ---------------------------------------------------
 

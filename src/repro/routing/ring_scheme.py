@@ -58,13 +58,21 @@ class RingRouting(RoutingScheme):
         graph: WeightedGraph,
         delta: float,
         metric: Optional[ShortestPathMetric] = None,
+        executor=None,
     ) -> None:
         if not 0 < delta < 1:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
         self.graph = graph
         self.delta = delta
         self.metric = metric if metric is not None else ShortestPathMetric(graph)
-        self.first_hops = FirstHopTable(graph)
+        # A lazy metric backend implies lazy (target-keyed) first hops —
+        # under the metric's configured byte budget — so nothing Θ(n²) is
+        # materialized anywhere in the scheme.
+        self.first_hops = FirstHopTable(
+            graph,
+            dense=getattr(self.metric, "dense", True),
+            row_cache_bytes=getattr(self.metric, "row_cache_budget", None),
+        )
 
         # Scales: G_j is a (Δ/2^j)-net of the shortest-path metric, where Δ
         # here is the diameter (the paper normalizes min distance to 1).
@@ -72,24 +80,34 @@ class RingRouting(RoutingScheme):
         min_d = self.metric.min_distance()
         self.levels = int(math.ceil(math.log2(diameter / min_d))) + 2
         self.nets = NestedNets(
-            self.metric, levels=self.levels, base_radius=diameter, descending=True
+            self.metric, levels=self.levels, base_radius=diameter,
+            descending=True, executor=executor,
         )
         self._ring_radius = [
             4.0 * diameter / (delta * 2.0**j) for j in range(self.levels)
         ]
 
-        # Rings (sorted member tuples double as host enumerations φ_uj).
-        self._rings: List[List[Tuple[NodeId, ...]]] = []
-        for u in range(graph.n):
-            per_u = []
-            for j in range(self.levels):
-                members = self.nets.members_in_ball(j, u, self._ring_radius[j])
-                per_u.append(tuple(sorted(int(x) for x in members)))
-            self._rings.append(per_u)
+        # Rings (sorted member tuples double as host enumerations φ_uj):
+        # one sharded block scan per level instead of a row per (u, j).
+        all_nodes = range(graph.n)
+        per_level_rings = [
+            self.nets.members_in_balls(j, all_nodes, self._ring_radius[j])
+            for j in range(self.levels)
+        ]
+        self._rings: List[List[Tuple[NodeId, ...]]] = [
+            [
+                tuple(sorted(int(x) for x in per_level_rings[j][u]))
+                for j in range(self.levels)
+            ]
+            for u in range(graph.n)
+        ]
 
-        # Zooming sequences and labels.
+        # Zooming sequences and labels, batched per level the same way.
+        per_level_zoom = [
+            self.nets.nearest_members(j, all_nodes) for j in range(self.levels)
+        ]
         self._zoom: List[Tuple[NodeId, ...]] = [
-            tuple(self.nets.nearest_member(j, t) for j in range(self.levels))
+            tuple(int(per_level_zoom[j][t]) for j in range(self.levels))
             for t in range(graph.n)
         ]
         self.labels: List[RingRoutingLabel] = [

@@ -1,0 +1,96 @@
+"""Executor plumbing: resolution, span geometry, and map semantics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.construction import (
+    ChunkedExecutor,
+    ProcessPoolBuildExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_workers,
+    span_chunks,
+)
+
+
+def _double(payload, x):
+    return (payload or 0) + 2 * x
+
+
+class TestResolveWorkers:
+    def test_none_and_zero_resolve_to_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert resolve_workers(None) == expected
+        assert resolve_workers(0) == expected
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(-1)
+
+
+class TestSpanChunks:
+    @pytest.mark.parametrize("n,shards", [(10, 3), (7, 7), (5, 9), (1, 4)])
+    def test_spans_partition_range(self, n, shards):
+        spans = span_chunks(n, shards)
+        covered = [i for lo, hi in spans for i in range(lo, hi)]
+        assert covered == list(range(n))
+        assert len(spans) <= shards
+
+    def test_empty_range(self):
+        assert span_chunks(0, 4) == []
+
+    def test_balanced(self):
+        sizes = [hi - lo for lo, hi in span_chunks(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestExecutors:
+    TASKS = [(1,), (2,), (3,)]
+
+    def test_serial_map(self):
+        assert SerialExecutor().map(_double, self.TASKS, payload=10) == [12, 14, 16]
+
+    def test_chunked_map_and_shards(self):
+        ex = ChunkedExecutor(3)
+        assert ex.shards == 3
+        assert ex.map(_double, self.TASKS) == [2, 4, 6]
+        with pytest.raises(ValueError):
+            ChunkedExecutor(0)
+
+    def test_process_pool_map_in_order(self):
+        with ProcessPoolBuildExecutor(workers=2) as ex:
+            assert ex.map(_double, self.TASKS, payload=10) == [12, 14, 16]
+            # Same payload object: the pool is reused across calls.
+            pool = ex._pool
+            assert ex.map(_double, [(5,)], payload=10) == [20]
+            assert ex._pool is pool
+
+    def test_process_pool_close_idempotent(self):
+        ex = ProcessPoolBuildExecutor(workers=2)
+        ex.map(_double, [(1,)])
+        ex.close()
+        ex.close()
+
+
+class TestMakeExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert make_executor(None).shards == 1
+
+    def test_one_with_shards_is_chunked(self):
+        ex = make_executor(1, shards=4)
+        assert isinstance(ex, ChunkedExecutor)
+        assert ex.shards == 4
+
+    def test_two_is_process_pool(self):
+        ex = make_executor(2)
+        assert isinstance(ex, ProcessPoolBuildExecutor)
+        assert ex.workers == 2
+        ex.close()
