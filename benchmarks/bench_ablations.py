@@ -15,9 +15,7 @@
 
 from __future__ import annotations
 
-import math
 
-import pytest
 
 from benchmarks.conftest import record_table
 from repro import api

@@ -17,7 +17,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record_table
 from repro import api

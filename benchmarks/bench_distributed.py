@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from benchmarks.conftest import record_table
 from repro.distributed import (

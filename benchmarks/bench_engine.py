@@ -157,8 +157,11 @@ def main(argv=None) -> int:
     text = json.dumps(report, indent=2)
     print(text)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text + "\n")
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
 
     if args.min_speedup is not None:
         final = results[-1]["speedup"]

@@ -9,7 +9,6 @@ paper's machinery supports [49, 28].
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record_table
 from repro import api

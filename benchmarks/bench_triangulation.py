@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from benchmarks.conftest import record_table
 from repro import api

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro import api
 from repro.smallworld import ContactGraph, evaluate_model

@@ -193,7 +193,7 @@ class TriangulationScheme(_EstimatorScheme):
     def size_account(self) -> SizeAccount:
         tri = self.inner
         n = self.workload.metric.n
-        k = max(len(tri.beacons_of(u)) for u in range(n))
+        k = tri.order  # max beacons per node, straight off the CSR offsets
         account = SizeAccount()
         account.add("neighbor_ids", k * bits_for_count(n))
         account.add("neighbor_distances", k * 64)  # exact float64 distances

@@ -11,6 +11,7 @@ reuse instead of rebuilding their own O(n²) machinery.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -31,7 +32,7 @@ from repro.metrics.synthetic import (
     uniform_line,
 )
 from repro.api.registry import WORKLOADS, register_workload
-from repro.core.rings import RingsOfNeighbors, cardinality_rings
+from repro.core.rings import AnyRings, cardinality_rings
 
 #: The instance size used when a caller does not pass ``n``.  Chosen so
 #: every workload/scheme combination builds in well under a second on a
@@ -90,6 +91,23 @@ class Workload:
     def kwargs(self) -> Dict[str, Any]:
         return dict(self.params)
 
+    @property
+    def display(self) -> str:
+        """The sized display form (``"hypercube(n=2000)"``) — what suite
+        overrides use to target one scale of a multi-size workload."""
+        return f"{self.name}(n={self.n})"
+
+    @staticmethod
+    def parse_display(text: str) -> Optional[Tuple[str, int]]:
+        """Invert :attr:`display`: ``"hypercube(n=2000)"`` →
+        ``("hypercube", 2000)``, None for bare workload names.  The one
+        parser for the sized form, so producers and consumers (override
+        matching, ``--override-n`` rule remapping) cannot drift apart."""
+        match = re.fullmatch(r"(.+)\(n=(\d+)\)", text)
+        if match is None:
+            return None
+        return match.group(1), int(match.group(2))
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (round-trips via :meth:`from_dict`)."""
         out: Dict[str, Any] = {"workload": self.name, "n": self.n, "seed": self.seed}
@@ -126,7 +144,7 @@ class WorkloadInstance:
         self.executor = None
         self._scales: Dict[float, ScaleStructure] = {}
         self._measure: Optional[DoublingMeasure] = None
-        self._rings: Dict[Tuple[int, Optional[int]], RingsOfNeighbors] = {}
+        self._rings: Dict[Tuple[int, Optional[int]], AnyRings] = {}
         self._nets: Optional[NestedNets] = None
 
     @property
@@ -174,7 +192,7 @@ class WorkloadInstance:
 
     def sampled_rings(
         self, samples_per_ring: int, seed: Optional[int] = 0
-    ) -> RingsOfNeighbors:
+    ) -> AnyRings:
         """Shared X-type sampled rings (§5.1), built once per (k, seed)."""
         key = (int(samples_per_ring), seed)
         if key not in self._rings:

@@ -248,17 +248,32 @@ def _override_spec_n(spec, n: int):
     The spec is renamed ``<name>-n<n>`` so the reduced run persists (and
     resumes) beside — never over — the full-size artifact.  CI uses this
     to smoke the ``*-large`` suites at a reduced n.
+
+    Overrides keyed on a sized workload display (``"hypercube(n=2000)"``)
+    are remapped to the new size so they keep applying — in particular,
+    ``skip`` rules that fence a heavy scheme onto one rung of a size
+    ladder still fence it in the reduced run (all collapsed rungs now
+    match, so a ladder's heavy cells are skipped rather than accidentally
+    run at an unintended size).
     """
     import dataclasses
 
     from repro.api import Workload
 
-    workloads = tuple(
+    workloads = tuple(dict.fromkeys(
         Workload.make(w.name, n=n, seed=w.seed, **w.kwargs)
         for w in spec.workloads
+    ))
+    overrides = tuple(
+        dataclasses.replace(rule, workload=f"{parsed[0]}(n={n})")
+        if rule.workload is not None
+        and (parsed := Workload.parse_display(rule.workload)) is not None
+        else rule
+        for rule in spec.overrides
     )
     return dataclasses.replace(
-        spec, name=f"{spec.name}-n{n}", workloads=workloads
+        spec, name=f"{spec.name}-n{n}", workloads=workloads,
+        overrides=overrides,
     )
 
 

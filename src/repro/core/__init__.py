@@ -23,6 +23,7 @@ replaces global node ids with short local indices
 routing on metrics (:mod:`~repro.core.overlay`).
 """
 
+from repro.core.packed import PackedRings, exact_capped_rings
 from repro.core.rings import (
     Ring,
     RingsOfNeighbors,
@@ -35,8 +36,10 @@ from repro.core.enumeration import Enumeration, TranslationFunction
 from repro.core.overlay import overlay_from_rings
 
 __all__ = [
+    "PackedRings",
     "Ring",
     "RingsOfNeighbors",
+    "exact_capped_rings",
     "cardinality_rings",
     "measure_rings",
     "net_rings",

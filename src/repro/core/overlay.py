@@ -9,16 +9,17 @@ parameter to optimize (Table 2).
 
 from __future__ import annotations
 
-from repro.core.rings import RingsOfNeighbors
+from repro.core.rings import AnyRings
 from repro.graphs.graph import WeightedGraph
 
 
-def overlay_from_rings(rings: RingsOfNeighbors) -> WeightedGraph:
+def overlay_from_rings(rings: AnyRings) -> WeightedGraph:
     """Materialize the overlay graph: an edge u-v per ring pointer.
 
+    Accepts either ring backend (packed CSR or the legacy dict view).
     The overlay is undirected here (a virtual link can be traversed both
     ways once established); out-degrees reported in Table 2 reproductions
-    use :meth:`RingsOfNeighbors.out_degree`, the directed pointer count.
+    use ``out_degree``, the directed pointer count.
     """
     metric = rings.metric
     graph = WeightedGraph(metric.n)

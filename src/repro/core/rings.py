@@ -14,17 +14,38 @@ Builders:
   ball holding ``n/2^i`` nodes (Theorem 5.2).
 * :func:`measure_rings` — samples w.r.t. a doubling measure from balls of
   exponentially growing radius (Theorem 5.2, 5.5).
+
+All three build the CSR-backed :class:`~repro.core.packed.PackedRings`
+by default (``backend="packed"``), which exposes the full read API of
+the legacy dict structure; pass ``backend="dict"`` for the per-node
+``Dict[RingKey, Ring]`` representation — kept for the bit-for-bit
+round-trip property tests and the packed-vs-dict benchmark.  Both
+backends consume the same member/sample streams, so they hold
+*identical* rings (same keys, radii, member order, and — for the
+sampled builders — the same RNG draws).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.packed import PackedRings
 from repro.metrics.base import MetricSpace
 from repro.metrics.measure import DoublingMeasure
 from repro.metrics.nets import NestedNets
@@ -126,6 +147,38 @@ class RingsOfNeighbors:
 # Builders
 # ----------------------------------------------------------------------
 
+#: Either representation — every builder returns one of these.
+AnyRings = Union[PackedRings, RingsOfNeighbors]
+
+
+def _pack_or_dict(
+    metric: MetricSpace,
+    backend: str,
+    keys: List[RingKey],
+    radii: np.ndarray,
+    chunks: List[np.ndarray],
+    provenance: Dict[str, Any],
+) -> AnyRings:
+    """Assemble one builder's ring stream into the requested backend.
+
+    ``chunks`` are node-major per-ring member arrays (the sampled
+    builders hand them over already deduplicated and sorted).
+    """
+    if backend == "packed":
+        return PackedRings.from_ring_chunks(metric, keys, radii, chunks, provenance)
+    if backend != "dict":
+        raise ValueError(f"unknown rings backend {backend!r}")
+    rings = RingsOfNeighbors(metric)
+    K = len(keys)
+    for u in range(metric.n):
+        for k, key in enumerate(keys):
+            members = chunks[u * K + k]
+            rings.add_ring(
+                Ring(u, key, float(radii[u, k]),
+                     tuple(int(x) for x in members))
+            )
+    return rings
+
 
 def net_rings(
     metric: MetricSpace,
@@ -133,28 +186,33 @@ def net_rings(
     radius_for_level: Callable[[int], float],
     levels: Optional[Iterable[int]] = None,
     executor=None,
-) -> RingsOfNeighbors:
+    backend: str = "packed",
+) -> AnyRings:
     """Deterministic rings ``Y_uj = B_u(radius_for_level(j)) ∩ G_j``.
 
     This is the Theorem 2.1 construction with ``radius_for_level(j) =
     4Δ/(δ 2^j)`` and the Theorem 4.1 construction with ``2^{j+2}/δ``.
     ``executor`` (a :class:`repro.construction.BuildExecutor`, defaulting
     to the hierarchy's own) shards each level's block scan over the
-    centers without changing a single member.
+    centers without changing a single member.  Members are in net order
+    (the level's admission order), identical across backends.
     """
-    rings = RingsOfNeighbors(metric)
     level_list = list(levels) if levels is not None else list(range(nets.levels))
-    all_nodes = range(metric.n)
+    n = metric.n
+    all_nodes = range(n)
     # One batched block query per level instead of one row fetch per
     # (node, level): the builder's cost drops to a handful of big gathers.
-    for j in level_list:
+    per_level: List[List[np.ndarray]] = []
+    radii = np.empty((n, len(level_list)))
+    for k, j in enumerate(level_list):
         r = radius_for_level(j)
-        members_per_u = nets.members_in_balls(j, all_nodes, r, executor=executor)
-        for u, members in zip(all_nodes, members_per_u):
-            rings.add_ring(
-                Ring(u, j, r, tuple(int(x) for x in members))
-            )
-    return rings
+        radii[:, k] = r
+        per_level.append(nets.members_in_balls(j, all_nodes, r, executor=executor))
+    chunks = [per_level[k][u] for u in range(n) for k in range(len(level_list))]
+    return _pack_or_dict(
+        metric, backend, level_list, radii, chunks,
+        provenance={"builder": "net_rings", "levels": level_list},
+    )
 
 
 def cardinality_rings(
@@ -162,33 +220,41 @@ def cardinality_rings(
     samples_per_ring: int,
     levels: Optional[int] = None,
     seed: SeedLike = None,
-) -> RingsOfNeighbors:
+    backend: str = "packed",
+) -> AnyRings:
     """X-type rings: for each i, uniform samples from ``B_ui`` (§5.1).
 
     ``B_ui`` is the smallest ball around u containing at least ``n/2^i``
     nodes; level count defaults to ``ceil(log2 n)``.  Sampling is with
     replacement, mirroring the paper ("select a node independently and
     uniformly at random from the ball B_ui; repeat c log n times"); members
-    are deduplicated within a ring.
+    are deduplicated within a ring.  Both backends consume the identical
+    RNG stream, so the rings round-trip bit for bit.
     """
     rng = ensure_rng(seed)
     n = metric.n
     if levels is None:
         levels = max(1, int(np.ceil(np.log2(n))))
-    rings = RingsOfNeighbors(metric)
     counts = np.ceil(n / np.exp2(np.arange(levels))).astype(int).clip(1, n)
+    chunks: List[np.ndarray] = []
+    all_radii = np.empty((n, levels))
     for u in range(n):
         row = metric.distances_from(u)
         # All level radii from one sorted row instead of `levels` rui calls.
         radii = np.sort(row)[counts - 1]
+        all_radii[u] = radii
         for i in range(levels):
-            radius = radii[i]
-            members = np.flatnonzero(row <= radius)
+            members = np.flatnonzero(row <= radii[i])
             chosen = rng.choice(members, size=samples_per_ring, replace=True)
-            rings.add_ring(
-                Ring(u, i, float(radius), tuple(sorted(set(int(x) for x in chosen))))
-            )
-    return rings
+            chunks.append(np.unique(chosen))
+    return _pack_or_dict(
+        metric, backend, list(range(levels)), all_radii, chunks,
+        provenance={
+            "builder": "cardinality_rings",
+            "samples_per_ring": int(samples_per_ring),
+            "seed": seed if isinstance(seed, (int, type(None))) else repr(seed),
+        },
+    )
 
 
 def measure_rings(
@@ -197,21 +263,30 @@ def measure_rings(
     samples_per_ring: int,
     seed: SeedLike = None,
     base_radius: float = 1.0,
-) -> RingsOfNeighbors:
+    backend: str = "packed",
+) -> AnyRings:
     """Y-type rings: µ-weighted samples from balls ``B_u(base * 2^j)`` (§5.1).
 
     One ring per distance scale ``j ∈ [log Δ]``; this is the Theorem 5.2(a)
     Y-neighbor construction and (with one sample) Theorem 5.5's long-range
-    link distribution.
+    link distribution.  Backends share the RNG stream (see
+    :func:`cardinality_rings`).
     """
     rng = ensure_rng(seed)
     levels = metric.log_aspect_ratio()
-    rings = RingsOfNeighbors(metric)
-    for u in range(metric.n):
+    n = metric.n
+    chunks: List[np.ndarray] = []
+    radii = np.tile(base_radius * np.exp2(np.arange(levels)), (n, 1))
+    for u in range(n):
         for j in range(levels):
-            radius = base_radius * float(2**j)
-            chosen = mu.sample_from_ball(u, radius, samples_per_ring, rng)
-            rings.add_ring(
-                Ring(u, j, radius, tuple(sorted(set(int(x) for x in chosen))))
-            )
-    return rings
+            chosen = mu.sample_from_ball(u, float(radii[u, j]), samples_per_ring, rng)
+            chunks.append(np.unique(np.asarray(chosen, dtype=np.int64)))
+    return _pack_or_dict(
+        metric, backend, list(range(levels)), radii, chunks,
+        provenance={
+            "builder": "measure_rings",
+            "samples_per_ring": int(samples_per_ring),
+            "base_radius": float(base_radius),
+            "seed": seed if isinstance(seed, (int, type(None))) else repr(seed),
+        },
+    )

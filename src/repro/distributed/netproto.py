@@ -19,7 +19,7 @@ a node only deactivates when a net member is within r).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro._types import NodeId
 from repro.distributed.simulator import Context, Message, RoundBasedProtocol

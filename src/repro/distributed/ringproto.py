@@ -21,7 +21,7 @@ capacity — the gap §6 calls bridging "an interesting open question".
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -138,40 +138,41 @@ def ring_coverage(
 ) -> Tuple[float, float]:
     """Score gossip rings against the theoretical ball contents.
 
+    The reference structure is one packed CSR block
+    (:func:`repro.core.packed.exact_capped_rings`): the exact annulus
+    rings truncated to the ``member_cap`` (default: the protocol's ring
+    capacity) nearest members, since bounded rings cannot hold more.
+    Gossip-found ids are compared against each exact slice with one
+    vectorized membership test per (node, scale).
+
     Returns ``(scale_coverage, member_recall)``:
 
     * scale_coverage — fraction of (node, scale) pairs with a non-empty
       exact ring for which gossip found at least one member;
-    * member_recall — fraction of exact ring members discovered, where
-      each exact ring is truncated to ``member_cap`` (default: the
-      protocol's ring capacity) nearest members, since bounded rings
-      cannot hold more.
+    * member_recall — fraction of exact ring members discovered.
     """
+    from repro.core.packed import exact_capped_rings
+
     cap = member_cap if member_cap is not None else protocol.ring_capacity
     base = metric.min_distance()
     levels = metric.log_aspect_ratio() + 1
+    exact = exact_capped_rings(metric, base, levels, cap=cap)
 
     scales_hit = scales_total = 0
     members_hit = members_total = 0
-    edges = base * np.exp2(np.arange(levels))  # annulus upper bounds
     for u in range(metric.n):
-        row = metric.distances_from(u)
         gossip_rings = protocol.rings_of(ctx, u)
-        # Bucket every node into its annulus with one vectorized pass
-        # instead of rescanning the row per scale.
-        scale = np.searchsorted(edges, row, side="left")
-        order = np.argsort(row, kind="stable")
         for j in range(levels):
-            in_annulus = order[(scale[order] == j) & (order != u) & (row[order] > 0)]
-            if in_annulus.size == 0:
+            ring = exact.members_of(u, j)
+            if ring.size == 0:
                 continue
-            exact = set(int(v) for v in in_annulus[:cap])
-            found = set(gossip_rings.get(j, {}))
+            found = gossip_rings.get(j, {})
             scales_total += 1
+            members_total += int(ring.size)
             if found:
                 scales_hit += 1
-            members_total += len(exact)
-            members_hit += len(found & exact)
+                found_ids = np.fromiter(found, dtype=np.int64, count=len(found))
+                members_hit += int(np.isin(found_ids, ring).sum())
     scale_coverage = scales_hit / max(1, scales_total)
     member_recall = members_hit / max(1, members_total)
     return scale_coverage, member_recall

@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro._types import NodeId
 from repro.metrics.base import MetricSpace

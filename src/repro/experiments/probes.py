@@ -116,6 +116,9 @@ def _twomode_split(fitted) -> Dict[str, Any]:
 @register_probe("translation-triangles",
                 summary="Figure 2: exhaustive ζ translation-triangle audit")
 def _translation_triangles(fitted) -> Dict[str, Any]:
+    """Audits the packed scheme's derived ζ (binary search over the CSR
+    host enumerations) against an independently-built dict of positions,
+    for every (u, f, w) triangle."""
     scheme = fitted.inner
     checked = nulls = violations = 0
     for u in range(scheme.graph.n):
@@ -123,7 +126,7 @@ def _translation_triangles(fitted) -> Dict[str, Any]:
             ring_u_next = {w: k for k, w in enumerate(scheme.ring(u, j + 1))}
             for fi, f in enumerate(scheme.ring(u, j)):
                 for wi, w in enumerate(scheme.ring(f, j + 1)):
-                    got = scheme._zeta[u][j].get((fi, wi))
+                    got = scheme.zeta_lookup(u, j, fi, wi)
                     expected = ring_u_next.get(w)
                     if got != expected:
                         violations += 1
@@ -135,8 +138,13 @@ def _translation_triangles(fitted) -> Dict[str, Any]:
     for u in range(scheme.graph.n):
         done = False
         for j in range(scheme.levels - 1):
-            if len(scheme.ring(u, j)) > 1 and scheme._zeta[u][j]:
-                (fi, wi), result = next(iter(scheme._zeta[u][j].items()))
+            first = (
+                next(scheme.zeta_items(u, j), None)
+                if len(scheme.ring(u, j)) > 1
+                else None
+            )
+            if first is not None:
+                (fi, wi), result = first
                 f = scheme.ring(u, j)[fi]
                 w = scheme.ring(f, j + 1)[wi]
                 example = (

@@ -100,11 +100,15 @@ class SchemeSpec:
 class CellOverride:
     """A per-cell adjustment, matched by workload and/or scheme name.
 
-    ``workload`` matches :attr:`Workload.name`; ``scheme`` matches the
-    :class:`SchemeSpec` display label *or* its registered scheme name.
-    Omitted matchers match everything.  ``config`` entries are merged
-    over the cell's config; ``plan`` and ``probes``, when given, replace
-    the cell's plan and probe tuple.
+    ``workload`` matches :attr:`Workload.name` or the sized display form
+    ``"name(n=N)"`` (needed when one suite carries the same workload at
+    several sizes); ``scheme`` matches the :class:`SchemeSpec` display
+    label *or* its registered scheme name.  Omitted matchers match
+    everything.  ``config`` entries are merged over the cell's config;
+    ``plan`` and ``probes``, when given, replace the cell's plan and
+    probe tuple; ``skip=True`` drops the matching cells from the grid
+    entirely (how a suite runs a heavy scheme at only some of its
+    scales).
     """
 
     workload: Optional[str] = None
@@ -112,9 +116,13 @@ class CellOverride:
     config: Tuple[Tuple[str, Any], ...] = ()
     plan: Optional[PlanConfig] = None
     probes: Optional[Tuple[str, ...]] = None
+    skip: bool = False
 
     def matches(self, workload: Workload, scheme: SchemeSpec) -> bool:
-        if self.workload is not None and self.workload != workload.name:
+        if self.workload is not None and self.workload not in (
+            workload.name,
+            workload.display,
+        ):
             return False
         if self.scheme is not None and self.scheme not in (
             scheme.display,
@@ -135,12 +143,15 @@ class CellOverride:
             out["plan"] = self.plan.to_dict()
         if self.probes is not None:
             out["probes"] = list(self.probes)
+        if self.skip:
+            out["skip"] = True
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellOverride":
         _reject_unknown(
-            "CellOverride", data, ("workload", "scheme", "config", "plan", "probes")
+            "CellOverride", data,
+            ("workload", "scheme", "config", "plan", "probes", "skip"),
         )
         plan = data.get("plan")
         probes = data.get("probes")
@@ -150,6 +161,7 @@ class CellOverride:
             config=_sorted_items(dict(data.get("config", {}))),
             plan=None if plan is None else PlanConfig.from_dict(plan),
             probes=None if probes is None else tuple(probes),
+            skip=bool(data.get("skip", False)),
         )
 
 
@@ -286,13 +298,19 @@ class ExperimentSpec:
                 config = scheme.config_dict
                 plan_default: Optional[PlanConfig] = None
                 probes: Tuple[str, ...] = self.probes
+                skipped = False
                 for rule in self.overrides:
                     if rule.matches(workload, scheme):
+                        if rule.skip:
+                            skipped = True
+                            break
                         config.update(dict(rule.config))
                         if rule.plan is not None:
                             plan_default = rule.plan
                         if rule.probes is not None:
                             probes = rule.probes
+                if skipped:
+                    continue
                 plans = (plan_default,) if plan_default is not None else self.plans
                 for plan in plans:
                     for seed in self.seeds:

@@ -50,6 +50,21 @@ class PackedLabels:
         #: chunk bound on the gathered label mass per batch (~tens of MB)
         self.max_gather = 4_000_000
 
+    @classmethod
+    def from_csr(
+        cls, n: int, indptr: np.ndarray, ids: np.ndarray, dist: np.ndarray
+    ) -> "PackedLabels":
+        """Wrap already-packed label arrays (ids sorted within each row)
+        without the per-dict conversion pass — the zero-copy path for
+        structures that keep their labels in CSR form natively."""
+        packed = cls.__new__(cls)
+        packed.indptr = np.asarray(indptr, dtype=np.int64)
+        packed.ids = np.asarray(ids, dtype=np.int64)
+        packed.dist = np.asarray(dist, dtype=float)
+        packed.n = int(n)
+        packed.max_gather = 4_000_000
+        return packed
+
     def _gather(self, rows: np.ndarray) -> Tuple[np.ndarray, ...]:
         """(keys, dists) of every (row-position, beacon) entry, where
         ``key = position * n + beacon`` — ascending, since ids are sorted

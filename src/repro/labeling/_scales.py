@@ -26,10 +26,8 @@ paper's correctness argument valid — see DESIGN.md).
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro._types import NodeId
 from repro.metrics.base import MetricSpace

@@ -37,7 +37,6 @@ covers the boundary case where the pair's critical scale is i = 0).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -150,16 +149,22 @@ class RingDLS:
 
     def _build_label(self, u: NodeId) -> NodeLabel:
         scales = self.scales
-        row = self.metric.distances_from(u)
+        row = np.asarray(self.metric.distances_from(u), dtype=float)
         size = SizeAccount()
 
         segments: Dict[Tuple[str, int], Tuple[float, ...]] = {}
         for i in range(scales.levels_n):
             for typ in ("X", "Y"):
                 members = self._segment_members(u, typ, i)
-                segments[(typ, i)] = tuple(
-                    self.codec.roundtrip(float(row[v])) for v in members
-                )
+                if members:
+                    # One vectorized quantization per segment instead of a
+                    # scalar codec call per member.
+                    quantized = self.codec.roundtrip_many(
+                        row[np.asarray(members, dtype=np.int64)]
+                    )
+                    segments[(typ, i)] = tuple(float(x) for x in quantized)
+                else:
+                    segments[(typ, i)] = ()
                 size.add(
                     "neighbor_distances", len(members) * self.codec.bits_per_distance
                 )

@@ -20,8 +20,7 @@ of §3 on doubling and non-doubling inputs.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

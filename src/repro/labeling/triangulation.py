@@ -28,6 +28,7 @@ import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.packed import pack_csr
 from repro.labeling._dplus import PackedLabels
 from repro.labeling._scales import ScaleStructure
 from repro.labeling.encoding import DistanceCodec
@@ -59,49 +60,68 @@ class RingTriangulation:
         self.metric = metric
         self.delta = delta
         self.scales = scales if scales is not None else ScaleStructure(metric, delta)
-        # label[u]: neighbor -> true distance (quantization is applied by
-        # TriangulationDLS; the raw triangulation keeps exact distances, as
-        # in the paper's definition of a triangulation label).
-        self._labels: list[Dict[NodeId, float]] = []
+        # Labels live in CSR arrays: per-node sorted beacon ids + true
+        # distances (quantization is applied by TriangulationDLS; the raw
+        # triangulation keeps exact distances, as in the paper's
+        # definition of a triangulation label).
+        chunks_ids: list[np.ndarray] = []
+        chunks_dist: list[np.ndarray] = []
         for u in range(metric.n):
-            row = metric.distances_from(u)
-            self._labels.append(
-                {int(b): float(row[b]) for b in self.scales.all_neighbors(u)}
-            )
+            row = np.asarray(metric.distances_from(u), dtype=float)
+            ids = np.asarray(self.scales.all_neighbors(u), dtype=np.int64)
+            chunks_ids.append(ids)
+            chunks_dist.append(row[ids])
+        self._indptr, self._ids = pack_csr(chunks_ids, dtype=np.int64)
+        _, self._dist = pack_csr(chunks_dist, dtype=float)
         self._packed: Optional[PackedLabels] = None
+
+    # -- CSR access --------------------------------------------------------
+
+    def _label_arrays(self, u: NodeId) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        return self._ids[lo:hi], self._dist[lo:hi]
 
     # -- structure metrics -------------------------------------------------
 
     @property
     def order(self) -> int:
         """Triangulation order: the max number of beacons per node."""
-        return max(len(label) for label in self._labels)
+        return int(np.diff(self._indptr).max())
 
     def mean_order(self) -> float:
-        return float(np.mean([len(label) for label in self._labels]))
+        return float(np.diff(self._indptr).mean())
 
     def beacons_of(self, u: NodeId) -> Dict[NodeId, float]:
-        """u's beacon set S_u with exact distances."""
-        return self._labels[u]
+        """u's beacon set S_u with exact distances (a materialized view;
+        the packed arrays are the storage)."""
+        ids, dist = self._label_arrays(u)
+        return {int(b): float(d) for b, d in zip(ids, dist)}
 
     # -- estimation ----------------------------------------------------------
 
     def common_beacons(self, u: NodeId, v: NodeId) -> list[NodeId]:
-        """``S_u ∩ S_v`` (the b's both labels know)."""
-        lu, lv = self._labels[u], self._labels[v]
-        if len(lv) < len(lu):
-            lu, lv = lv, lu
-        return [b for b in lu if b in lv]
+        """``S_u ∩ S_v`` (the b's both labels know), ascending."""
+        ids_u, _ = self._label_arrays(u)
+        ids_v, _ = self._label_arrays(v)
+        return [int(b) for b in np.intersect1d(ids_u, ids_v, assume_unique=True)]
+
+    def _common_distances(
+        self, u: NodeId, v: NodeId
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(d_ub, d_vb) arrays over the common beacons b."""
+        ids_u, dist_u = self._label_arrays(u)
+        ids_v, dist_v = self._label_arrays(v)
+        _, iu, iv = np.intersect1d(
+            ids_u, ids_v, assume_unique=True, return_indices=True
+        )
+        return dist_u[iu], dist_v[iv]
 
     def bounds(self, u: NodeId, v: NodeId) -> Tuple[float, float]:
         """(D-, D+) over common beacons; (0, inf) when none exist."""
-        lu, lv = self._labels[u], self._labels[v]
-        lower, upper = 0.0, float("inf")
-        for b in self.common_beacons(u, v):
-            du, dv = lu[b], lv[b]
-            upper = min(upper, du + dv)
-            lower = max(lower, abs(du - dv))
-        return lower, upper
+        du, dv = self._common_distances(u, v)
+        if du.size == 0:
+            return 0.0, float("inf")
+        return float(np.abs(du - dv).max()), float((du + dv).min())
 
     def estimate(self, u: NodeId, v: NodeId) -> float:
         """Distance estimate D+ (exact-distance labels)."""
@@ -112,12 +132,14 @@ class RingTriangulation:
     def estimate_many(self, us, vs) -> np.ndarray:
         """Batched D+ over the packed labels (0 on the diagonal).
 
-        Labels are packed into padded id/distance arrays on first use, so
-        a whole pair batch runs as chunked broadcast intersections
-        instead of per-pair dict walks.
+        The CSR label arrays are handed to :class:`PackedLabels` without
+        any per-dict conversion, so a whole pair batch runs as chunked
+        broadcast intersections instead of per-pair dict walks.
         """
         if self._packed is None:
-            self._packed = PackedLabels(self._labels)
+            self._packed = PackedLabels.from_csr(
+                self.metric.n, self._indptr, self._ids, self._dist
+            )
         return self._packed.dplus_many(us, vs)
 
     def certified_ratio_bound(self) -> float:
@@ -128,13 +150,13 @@ class RingTriangulation:
         """Theorem 3.2's core guarantee for one pair: a common beacon
         within δ·d_uv of u or of v."""
         d = self.metric.distance(u, v)
-        row_u = self.metric.distances_from(u)
-        row_v = self.metric.distances_from(v)
+        common = np.asarray(self.common_beacons(u, v), dtype=np.int64)
+        if common.size == 0:
+            return False
+        row_u = np.asarray(self.metric.distances_from(u), dtype=float)
+        row_v = np.asarray(self.metric.distances_from(v), dtype=float)
         limit = self.delta * d + 1e-12 * max(1.0, d)
-        return any(
-            min(float(row_u[b]), float(row_v[b])) <= limit
-            for b in self.common_beacons(u, v)
-        )
+        return bool(np.minimum(row_u[common], row_v[common]).min() <= limit)
 
     def worst_ratio(self) -> float:
         """Measured max over all pairs of D+/D-."""
@@ -166,44 +188,51 @@ class TriangulationDLS:
             # O(log 1/δ)-bit mantissa: relative error 2^(1-b) <= δ/4.
             mantissa_bits = max(4, int(np.ceil(np.log2(8.0 / triangulation.delta))))
         self.codec = DistanceCodec.for_metric(metric, mantissa_bits)
-        self._labels: list[Dict[NodeId, float]] = [
-            {b: self.codec.roundtrip(d) for b, d in triangulation.beacons_of(u).items()}
-            for u in range(metric.n)
-        ]
+        # Quantize the triangulation's whole CSR distance block in one
+        # vectorized pass; the id/offset arrays are shared, not copied.
+        self._indptr = triangulation._indptr
+        self._ids = triangulation._ids
+        self._dist = self.codec.roundtrip_many(triangulation._dist)
         self._packed: Optional[PackedLabels] = None
 
     def label(self, u: NodeId) -> Dict[NodeId, float]:
-        return self._labels[u]
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        return {
+            int(b): float(d)
+            for b, d in zip(self._ids[lo:hi], self._dist[lo:hi])
+        }
 
     def label_bits(self, u: NodeId) -> SizeAccount:
         account = SizeAccount()
         n = self.triangulation.metric.n
-        k = len(self._labels[u])
+        k = int(self._indptr[u + 1] - self._indptr[u])
         account.add("neighbor_ids", k * bits_for_count(n))
         account.add("neighbor_distances", k * self.codec.bits_per_distance)
         return account
 
     def max_label_bits(self) -> int:
-        return max(
-            self.label_bits(u).total_bits for u in range(self.triangulation.metric.n)
-        )
+        n = self.triangulation.metric.n
+        per_beacon = bits_for_count(n) + self.codec.bits_per_distance
+        return int(np.diff(self._indptr).max()) * per_beacon
 
     def estimate(self, u: NodeId, v: NodeId) -> float:
         """D+ over common stored beacons (labels only)."""
         if u == v:
             return 0.0
-        lu, lv = self._labels[u], self._labels[v]
-        if len(lv) < len(lu):
-            lu, lv = lv, lu
-        best = float("inf")
-        for b, du in lu.items():
-            dv = lv.get(b)
-            if dv is not None:
-                best = min(best, du + dv)
-        return best
+        lo_u, hi_u = self._indptr[u], self._indptr[u + 1]
+        lo_v, hi_v = self._indptr[v], self._indptr[v + 1]
+        _, iu, iv = np.intersect1d(
+            self._ids[lo_u:hi_u], self._ids[lo_v:hi_v],
+            assume_unique=True, return_indices=True,
+        )
+        if iu.size == 0:
+            return float("inf")
+        return float((self._dist[lo_u:hi_u][iu] + self._dist[lo_v:hi_v][iv]).min())
 
     def estimate_many(self, us, vs) -> np.ndarray:
         """Batched quantized D+ (same packed-label path as Theorem 3.2)."""
         if self._packed is None:
-            self._packed = PackedLabels(self._labels)
+            self._packed = PackedLabels.from_csr(
+                self.triangulation.metric.n, self._indptr, self._ids, self._dist
+            )
         return self._packed.dplus_many(us, vs)

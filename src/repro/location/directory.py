@@ -20,9 +20,8 @@ of s.  Tests assert the measured stretch against that constant.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count

@@ -12,7 +12,7 @@ each constructor's signature small and the behaviour uniform:
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

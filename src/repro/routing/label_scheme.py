@@ -23,12 +23,14 @@ The label estimator is pluggable (``estimator=``):
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.packed import pack_csr
+from repro.core.rings import net_rings
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import FirstHopTable
 from repro.metrics.graphmetric import ShortestPathMetric
@@ -71,27 +73,31 @@ class LabelRouting(RoutingScheme):
         self._ring_radius = [
             min_d * (2.0 ** (j + 2)) / delta for j in range(self.levels)
         ]
-        # One sharded block scan per level instead of a row per (u, j).
-        all_nodes = range(graph.n)
-        neighbor_sets: List[set] = [set() for _ in all_nodes]
-        for j in range(self.levels):
-            members = self.nets.members_in_balls(j, all_nodes, self._ring_radius[j])
-            for u, found in zip(all_nodes, members):
-                neighbor_sets[u].update(int(x) for x in found)
-        self._neighbors: List[Tuple[NodeId, ...]] = []
-        for u in all_nodes:
-            neighbor_sets[u].discard(u)
-            self._neighbors.append(tuple(sorted(neighbor_sets[u])))
+        # Rings packed into one CSR block (a sharded block scan per level),
+        # then reduced to the per-node neighbor sets F(u) = ∪_j F_j(u) \ {u}
+        # as a second CSR block: one `np.unique` over each node's
+        # contiguous member span instead of Python set unions.  Only the
+        # deduped union is kept — the per-level block is construction
+        # scaffolding and is freed here.
+        rings_packed = net_rings(
+            self.metric, self.nets,
+            lambda j: self._ring_radius[j],
+            executor=executor,
+        )
+        nbr_chunks = []
+        for u in range(graph.n):
+            span = rings_packed._node_span(u)
+            nbr_chunks.append(np.unique(span[span != u]))
+        self._nbr_indptr, self._nbr_members = pack_csr(nbr_chunks)
 
     # -- label machinery ---------------------------------------------------
 
     def _init_estimator(self, estimator: str, label_delta: float) -> None:
+        self._dls = None
         if estimator == "exact":
-            matrix = self.metric.matrix
-            self._estimate: Callable[[NodeId, NodeId], float] = lambda a, b: float(
-                matrix[a, b]
-            )
-            # With exact distances the "label" degenerates to a node id.
+            # True distances straight off the metric (works on the lazy
+            # backend too: one cached row per queried target); with exact
+            # distances the "label" degenerates to a node id.
             self._label_payload_bits = bits_for_count(self.metric.n)
         elif estimator == "triangulation":
             from repro.labeling.triangulation import RingTriangulation, TriangulationDLS
@@ -99,36 +105,60 @@ class LabelRouting(RoutingScheme):
             tri = RingTriangulation(self.metric, delta=label_delta)
             dls = TriangulationDLS(tri)
             self._dls = dls
-            self._estimate = dls.estimate
             self._label_payload_bits = dls.max_label_bits()
         elif estimator == "ring":
             from repro.labeling.dls import RingDLS
 
             dls = RingDLS(self.metric, delta=label_delta)
             self._dls = dls
-            self._estimate = dls.estimate
             self._label_payload_bits = dls.max_label_bits()
         else:
             raise ValueError(f"unknown estimator {estimator!r}")
 
     # -- routing --------------------------------------------------------------
 
+    def _nbr_arr(self, u: NodeId) -> np.ndarray:
+        """Sorted neighbor ids of ``u`` (a CSR slice view)."""
+        return self._nbr_members[self._nbr_indptr[u] : self._nbr_indptr[u + 1]]
+
     def neighbors_of(self, u: NodeId) -> Tuple[NodeId, ...]:
-        return self._neighbors[u]
+        return tuple(int(x) for x in self._nbr_arr(u))
 
     def max_out_degree(self) -> int:
         """Overlay out-degree (the Table 2 quantity)."""
-        return max(len(nb) for nb in self._neighbors)
+        return int(np.diff(self._nbr_indptr).max())
+
+    def _estimate_block(self, vs: np.ndarray, target: NodeId) -> np.ndarray:
+        """``D(L_v, L_t)`` for a whole neighbor array at once."""
+        if self._dls is not None:
+            return self._dls.estimate_many(
+                vs, np.full(vs.size, target, dtype=np.intp)
+            )
+        row = self.metric.distances_from(target)
+        return np.asarray(row, dtype=float)[vs]
 
     def _select_intermediate(self, u: NodeId, target: NodeId) -> Optional[NodeId]:
-        """The neighbor minimizing D(L_v, L_t) (ties to smaller id)."""
-        best_v: Optional[NodeId] = None
-        best_d = float("inf")
-        for v in self._neighbors[u]:
-            d = self._estimate(v, target)
-            if d < best_d:
-                best_v, best_d = v, d
-        return best_v
+        """The neighbor minimizing D(L_v, L_t) (ties to smaller id).
+
+        One vectorized label-estimate block over u's ring members — the
+        hot per-hop loop of Theorem 4.1 — instead of a Python loop of
+        scalar ``estimate`` calls.  ``argmin`` on the ascending neighbor
+        array keeps the legacy smallest-id tie-breaking.
+        """
+        vs = self._nbr_arr(u)
+        if vs.size == 0:
+            return None
+        ests = self._estimate_block(vs, target)
+        if not np.any(np.isfinite(ests)):
+            # All-infinite estimates: the legacy scan never replaced its
+            # initial None, so no intermediate target exists.
+            return None
+        return int(vs[int(np.argmin(ests))])
+
+    def _is_neighbor(self, u: NodeId, v: NodeId) -> bool:
+        vs = self._nbr_arr(u)
+        idx = int(np.searchsorted(vs, v))
+        return idx < vs.size and int(vs[idx]) == v
 
     def route(
         self, source: NodeId, target: NodeId, max_hops: Optional[int] = None
@@ -143,7 +173,7 @@ class LabelRouting(RoutingScheme):
                 intermediate = self._select_intermediate(current, target)
                 if intermediate is None or intermediate == current:
                     break
-            if intermediate not in self._neighbors[current] and intermediate != target:
+            if not self._is_neighbor(current, intermediate) and intermediate != target:
                 # The invariant "t' stays a j-level neighbor along the
                 # shortest path" failed numerically; reselect.
                 intermediate = self._select_intermediate(current, target)
@@ -168,7 +198,7 @@ class LabelRouting(RoutingScheme):
 
     def table_bits(self, u: NodeId) -> SizeAccount:
         account = SizeAccount()
-        k = len(self._neighbors[u])
+        k = int(self._nbr_indptr[u + 1] - self._nbr_indptr[u])
         link_bits = bits_for_count(self.graph.max_out_degree())
         account.add("neighbor_labels", k * self._label_payload_bits)
         account.add("first_hop_pointers", k * link_bits)

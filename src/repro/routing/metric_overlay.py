@@ -21,7 +21,6 @@ from repro._types import NodeId
 from repro.bits import SizeAccount
 from repro.graphs.graph import WeightedGraph
 from repro.metrics.base import MetricSpace
-from repro.metrics.graphmetric import ShortestPathMetric
 from repro.metrics.nets import NestedNets
 from repro.routing.base import RouteResult, RoutingScheme
 

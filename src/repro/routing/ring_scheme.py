@@ -20,21 +20,31 @@ shortest subpaths); on arrival pick the next intermediate target, which is
 at least 1/δ times closer to t (Claim 2.4a) — total stretch 1 + O(δ)
 (Claim 2.5).
 
-Headers carry the label plus the current scale ``j``; tables are
-accounted both ways the paper discusses: the dense ``K² ceil(log K)``
-translation tables and the actual sparse triples.
+Representation: the rings live in one CSR
+:class:`~repro.core.packed.PackedRings` block (flat ``int32`` member
+array + per-(node, level) offsets) with members sorted ascending — the
+sorted slices *are* the host enumerations φ_uj.  The translation
+functions ζ_uj are **derived** from those enumerations (a binary search
+per entry) rather than stored as Θ(n·K²) Python dicts, which is what
+lets the scheme build at n = 10⁴; their *storage* is still accounted at
+the paper's rates in :meth:`RingRouting.table_bits`, both dense
+(``K² ceil(log K)``) and as the actual sparse triples (counted
+vectorized).
+
+Headers carry the label plus the current scale ``j``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.rings import net_rings
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import FirstHopTable
 from repro.metrics.graphmetric import ShortestPathMetric
@@ -87,51 +97,57 @@ class RingRouting(RoutingScheme):
             4.0 * diameter / (delta * 2.0**j) for j in range(self.levels)
         ]
 
-        # Rings (sorted member tuples double as host enumerations φ_uj):
-        # one sharded block scan per level instead of a row per (u, j).
-        all_nodes = range(graph.n)
-        per_level_rings = [
-            self.nets.members_in_balls(j, all_nodes, self._ring_radius[j])
-            for j in range(self.levels)
-        ]
-        self._rings: List[List[Tuple[NodeId, ...]]] = [
-            [
-                tuple(sorted(int(x) for x in per_level_rings[j][u]))
-                for j in range(self.levels)
-            ]
-            for u in range(graph.n)
-        ]
+        # Rings, packed: one sharded block scan per level feeds a single
+        # CSR block; sorting the member slices makes them double as the
+        # host enumerations φ_uj.
+        self.rings_packed = net_rings(
+            self.metric, self.nets,
+            lambda j: self._ring_radius[j],
+            executor=executor,
+        ).with_sorted_members()
+        self._indptr = self.rings_packed.indptr
+        self._members = self.rings_packed.members
+        #: per-(node, level) ring sizes, (n, levels)
+        self._sizes = self.rings_packed.ring_sizes()
+        #: the paper's K, fixed at build time (table_bits sweeps reuse it)
+        self._max_ring_card = self.rings_packed.max_ring_cardinality()
 
         # Zooming sequences and labels, batched per level the same way.
-        per_level_zoom = [
-            self.nets.nearest_members(j, all_nodes) for j in range(self.levels)
-        ]
-        self._zoom: List[Tuple[NodeId, ...]] = [
-            tuple(int(per_level_zoom[j][t]) for j in range(self.levels))
-            for t in range(graph.n)
-        ]
+        n = graph.n
+        all_nodes = range(n)
+        self._zoom = np.empty((n, self.levels), dtype=np.int32)
+        for j in range(self.levels):
+            self._zoom[:, j] = self.nets.nearest_members(j, all_nodes)
         self.labels: List[RingRoutingLabel] = [
-            self._build_label(t) for t in range(graph.n)
+            self._build_label(t) for t in range(n)
         ]
 
-        # Translation functions ζ_uj, stored sparsely as dicts.
-        self._zeta: List[List[Dict[Tuple[int, int], int]]] = [
-            self._build_zeta(u) for u in range(graph.n)
-        ]
+        # Sparse ζ triple counts per (node, level) — computed lazily (and
+        # vectorized) the first time the accounting asks for them.
+        self._zeta_triples: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
+    def _ring_arr(self, u: NodeId, j: int) -> np.ndarray:
+        """``Y_uj`` as a sorted int array (the host enumeration φ_uj)."""
+        if not 0 <= j < self.levels:
+            # The flat CSR index would silently alias into another node's
+            # rings; fail fast like the legacy list-of-lists did.
+            raise IndexError(f"ring level {j} out of range [0, {self.levels})")
+        i = u * self.levels + j
+        return self._members[self._indptr[i] : self._indptr[i + 1]]
+
     def ring(self, u: NodeId, j: int) -> Tuple[NodeId, ...]:
         """``Y_uj`` in host-enumeration order."""
-        return self._rings[u][j]
+        return tuple(int(x) for x in self._ring_arr(u, j))
 
     def _ring_index(self, u: NodeId, j: int, node: NodeId) -> Optional[int]:
         """``φ_uj(node)`` or None."""
-        members = self._rings[u][j]
+        members = self._ring_arr(u, j)
         idx = int(np.searchsorted(members, node))
-        if idx < len(members) and members[idx] == node:
+        if idx < members.size and members[idx] == node:
             return idx
         return None
 
@@ -145,7 +161,7 @@ class RingRouting(RoutingScheme):
             raise RuntimeError("level-0 ring must contain f_t0")
         indices.append(idx0)
         for j in range(1, self.levels):
-            f_prev = zoom[j - 1]
+            f_prev = int(zoom[j - 1])
             idx = self._ring_index(f_prev, j, zoom[j])
             if idx is None:
                 raise RuntimeError(
@@ -154,20 +170,78 @@ class RingRouting(RoutingScheme):
             indices.append(idx)
         return RingRoutingLabel(node=t, indices=tuple(indices))
 
-    def _build_zeta(self, u: NodeId) -> List[Dict[Tuple[int, int], int]]:
-        """ζ_uj tables: (φ_uj(f), φ_{f,j+1}(w)) -> φ_{u,j+1}(w)."""
-        tables: List[Dict[Tuple[int, int], int]] = []
-        for j in range(self.levels - 1):
-            table: Dict[Tuple[int, int], int] = {}
-            next_ring = self._rings[u][j + 1]
-            next_index = {node: k for k, node in enumerate(next_ring)}
-            for fi, f in enumerate(self._rings[u][j]):
-                for wi, w in enumerate(self._rings[f][j + 1]):
-                    k = next_index.get(w)
-                    if k is not None:
-                        table[(fi, wi)] = k
-            tables.append(table)
-        return tables
+    # ------------------------------------------------------------------
+    # Translation functions ζ_uj, derived from the packed enumerations
+    # ------------------------------------------------------------------
+
+    def zeta_lookup(self, u: NodeId, j: int, fi: int, wi: int) -> Optional[int]:
+        """``ζ_uj(fi, wi) = φ_{u,j+1}(w)`` for ``f = φ_uj^{-1}(fi)`` and
+        ``w = φ_{f,j+1}^{-1}(wi)``; None outside the triangle (exactly the
+        nulls the stored sparse table would have)."""
+        ring_u = self._ring_arr(u, j)
+        if fi >= ring_u.size:
+            return None
+        f = int(ring_u[fi])
+        ring_f_next = self._ring_arr(f, j + 1)
+        if wi >= ring_f_next.size:
+            return None
+        return self._ring_index(u, j + 1, int(ring_f_next[wi]))
+
+    def zeta_items(
+        self, u: NodeId, j: int
+    ) -> Iterator[Tuple[Tuple[int, int], int]]:
+        """The sparse ζ_uj triples ``((fi, wi), k)``, lazily enumerated."""
+        ring_u_next = self._ring_arr(u, j + 1)
+        for fi, f in enumerate(self._ring_arr(u, j)):
+            ring_f_next = self._ring_arr(int(f), j + 1)
+            pos = np.searchsorted(ring_u_next, ring_f_next)
+            pos_c = np.clip(pos, 0, max(0, ring_u_next.size - 1))
+            valid = (pos < ring_u_next.size) & (
+                ring_u_next[pos_c] == ring_f_next
+            ) if ring_u_next.size else np.zeros(ring_f_next.size, bool)
+            for wi in np.flatnonzero(valid):
+                yield (int(fi), int(wi)), int(pos[wi])
+
+    def _gathered_next_rings(self, fs: np.ndarray, j_next: int) -> np.ndarray:
+        """Concatenated ``ring(f, j_next)`` members over ``fs`` (CSR gather)."""
+        rix = fs.astype(np.int64) * self.levels + j_next
+        starts = self._indptr[rix]
+        counts = self._indptr[rix + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=self._members.dtype)
+        base = np.cumsum(counts) - counts
+        pair_of = np.repeat(np.arange(fs.size, dtype=np.int64), counts)
+        idx = np.arange(total, dtype=np.int64) - base[pair_of] + starts[pair_of]
+        return self._members[idx]
+
+    def _zeta_triple_counts(self) -> np.ndarray:
+        """Number of sparse ζ_uj entries per (u, j), all levels at once.
+
+        One CSR gather + binary search per (node, level) — the vectorized
+        replacement for materializing the translation dicts just to take
+        their ``len``.
+        """
+        if self._zeta_triples is None:
+            n = self.graph.n
+            counts = np.zeros((n, self.levels - 1), dtype=np.int64)
+            for u in range(n):
+                for j in range(self.levels - 1):
+                    ring_u_next = self._ring_arr(u, j + 1)
+                    if ring_u_next.size == 0:
+                        continue
+                    gathered = self._gathered_next_rings(
+                        self._ring_arr(u, j), j + 1
+                    )
+                    if gathered.size == 0:
+                        continue
+                    pos = np.searchsorted(ring_u_next, gathered)
+                    pos_c = np.clip(pos, 0, ring_u_next.size - 1)
+                    counts[u, j] = int(
+                        np.count_nonzero(ring_u_next[pos_c] == gathered)
+                    )
+            self._zeta_triples = counts
+        return self._zeta_triples
 
     # ------------------------------------------------------------------
     # Claim 2.2: decode j_ut and the ring indices of the zooming prefix
@@ -181,11 +255,11 @@ class RingRouting(RoutingScheme):
         """
         indices: List[int] = []
         m = label.indices[0]
-        if m >= len(self._rings[u][0]):
+        if m >= self._sizes[u, 0]:
             return indices
         indices.append(m)
         for j in range(1, self.levels):
-            m_next = self._zeta[u][j - 1].get((indices[-1], label.indices[j]))
+            m_next = self.zeta_lookup(u, j - 1, indices[-1], label.indices[j])
             if m_next is None:
                 break
             indices.append(m_next)
@@ -198,13 +272,13 @@ class RingRouting(RoutingScheme):
     def header_bits(self, label: RingRoutingLabel) -> int:
         """Packet header: the label plus the current scale index."""
         bits = bits_for_count(self.graph.n)  # ID(t) for termination
-        for j, idx in enumerate(label.indices):
+        for j in range(len(label.indices)):
             ring_size = (
-                len(self._rings[label.node][0])
+                self._sizes[label.node, 0]
                 if j == 0
-                else len(self._rings[self._zoom[label.node][j - 1]][j])
+                else self._sizes[self._zoom[label.node, j - 1], j]
             )
-            bits += bits_for_count(ring_size)
+            bits += bits_for_count(int(ring_size))
         bits += bits_for_count(self.levels)  # current intermediate scale j
         return bits
 
@@ -224,11 +298,11 @@ class RingRouting(RoutingScheme):
                 break  # delivery failure (should not happen; tests assert)
             if intermediate_j is None or intermediate_j >= len(decoded):
                 intermediate_j = len(decoded) - 1
-            f = self._zoom[target][intermediate_j]
+            f = int(self._zoom[target, intermediate_j])
             if f == current:
                 # Reached the intermediate target: pick the next one.
                 intermediate_j = len(decoded) - 1
-                f = self._zoom[target][intermediate_j]
+                f = int(self._zoom[target, intermediate_j])
                 if f == current:
                     break  # cannot make progress (failure)
             nxt = self.first_hops.first_hop(current, f)
@@ -248,35 +322,34 @@ class RingRouting(RoutingScheme):
 
     def max_ring_cardinality(self) -> int:
         """The paper's K = (16/δ)^α bound, measured."""
-        return max(
-            len(ring) for per_u in self._rings for ring in per_u
-        )
+        return self._max_ring_card
 
     def table_bits(self, u: NodeId, dense_translation: bool = False) -> SizeAccount:
         """Routing table of u.
 
         ``dense_translation=True`` charges the paper's ``K² ceil(log K)``
         per-scale table; the default charges the sparse triples actually
-        stored.
+        stored (counted from the packed enumerations).
         """
         account = SizeAccount()
         link_bits = bits_for_count(self.graph.max_out_degree())
-        neighbors = sum(len(ring) for ring in self._rings[u])
+        neighbors = int(self._sizes[u].sum())
         account.add("first_hop_pointers", neighbors * link_bits)
         if dense_translation:
             big_k = self.max_ring_cardinality()
             per_scale = big_k * big_k * bits_for_count(big_k)
             account.add("translation_dense", (self.levels - 1) * per_scale)
         else:
-            for j, table in enumerate(self._zeta[u]):
-                k_here = max(1, len(self._rings[u][j]))
-                k_next = max(1, len(self._rings[u][j + 1]))
+            triples = self._zeta_triple_counts()[u]
+            for j in range(self.levels - 1):
+                k_here = max(1, int(self._sizes[u, j]))
+                k_next = max(1, int(self._sizes[u, j + 1]))
                 entry_bits = (
                     bits_for_count(k_here)
                     + bits_for_count(self.max_ring_cardinality())
                     + bits_for_count(k_next)
                 )
-                account.add("translation_triples", len(table) * entry_bits)
+                account.add("translation_triples", int(triples[j]) * entry_bits)
         account.add("global_id", bits_for_count(self.graph.n))
         return account
 

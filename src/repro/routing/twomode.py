@@ -38,7 +38,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count

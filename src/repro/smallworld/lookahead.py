@@ -18,7 +18,6 @@ from typing import Optional
 import numpy as np
 
 from repro._types import NodeId
-from repro.metrics.base import MetricSpace
 from repro.smallworld.base import ContactGraph, QueryResult, SmallWorldModel
 
 

@@ -12,10 +12,8 @@ the distance.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro._types import NodeId
 from repro.graphs.graph import WeightedGraph

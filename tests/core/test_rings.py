@@ -1,6 +1,5 @@
 """Rings-of-neighbors structure and builders."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,6 +1,5 @@
 """Zooming sequences (Theorem 2.1 / 3.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core import net_zooming_sequence

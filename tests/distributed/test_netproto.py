@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.distributed import DistributedNetProtocol, SynchronousNetwork
-from repro.metrics import exponential_line, random_hypercube_metric
+from repro.metrics import exponential_line
 from repro.metrics.nets import is_r_net
 
 

@@ -126,8 +126,13 @@ class TestLargeSuitesDeclared:
     @pytest.mark.parametrize("name", ["table1-large", "stretch-large",
                                       "dls-large"])
     def test_registered_at_ten_thousand(self, name):
+        # Every large suite leads with n = 10⁴ workloads; dls-large
+        # additionally carries smaller rungs for the paper's own labeling
+        # schemes (their construction constants cap the feasible n).
         spec = get_suite(name)
-        assert all(w.n == 10_000 for w in spec.workloads)
+        assert max(w.n for w in spec.workloads) == 10_000
+        if name != "dls-large":
+            assert all(w.n == 10_000 for w in spec.workloads)
 
     def test_table1_large_is_matrix_free(self):
         spec = get_suite("table1-large")

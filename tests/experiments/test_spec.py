@@ -138,3 +138,77 @@ class TestGridExpansion:
             clone = Cell.from_dict(json.loads(json.dumps(cell.to_dict())))
             assert clone == cell
             assert clone.key == cell.key
+
+
+class TestSkipOverrides:
+    def _spec(self):
+        from repro.api.workloads import Workload
+
+        return ExperimentSpec.make(
+            "skip-demo",
+            workloads=[
+                Workload.make("hypercube", n=64, dim=2, seed=0),
+                Workload.make("hypercube", n=32, dim=2, seed=0),
+            ],
+            schemes=[
+                SchemeSpec.make("beacons", label="cheap", beacons=4),
+                SchemeSpec.make("triangulation", label="heavy", delta=0.3),
+            ],
+            plans=[PlanConfig(kind="uniform", pairs=10, seed=1)],
+            overrides=[
+                CellOverride(workload="hypercube(n=64)", scheme="heavy",
+                             skip=True),
+            ],
+        )
+
+    def test_skip_drops_matching_cells_only(self):
+        cells = self._spec().cells()
+        assert len(cells) == 3  # 2x2 grid minus the skipped cell
+        assert not any(
+            c.label == "heavy" and c.workload.n == 64 for c in cells
+        )
+        assert any(c.label == "heavy" and c.workload.n == 32 for c in cells)
+        assert sum(c.label == "cheap" for c in cells) == 2
+
+    def test_sized_display_matches_one_scale(self):
+        from repro.api.workloads import Workload
+
+        w64 = Workload.make("hypercube", n=64, dim=2, seed=0)
+        w32 = Workload.make("hypercube", n=32, dim=2, seed=0)
+        rule = CellOverride(workload="hypercube(n=64)")
+        scheme = SchemeSpec.make("beacons", beacons=4)
+        assert rule.matches(w64, scheme)
+        assert not rule.matches(w32, scheme)
+        # bare names still match every size
+        assert CellOverride(workload="hypercube").matches(w32, scheme)
+
+    def test_skip_round_trips_through_json(self):
+        spec = self._spec()
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert len(clone.cells()) == len(spec.cells())
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_dls_large_ladder(self):
+        from repro.experiments.suites import get_suite
+
+        cells = get_suite("dls-large").cells()
+        by_label = {}
+        for c in cells:
+            by_label.setdefault(c.label, set()).add(c.workload.n)
+        assert by_label["thm3.2+ids"] == {2000}
+        assert by_label["thm3.4-id-free"] == {500}
+        assert by_label["tz-k2"] == {10_000, 2000, 500}
+
+    def test_override_n_remaps_sized_skip_rules(self):
+        from repro.cli import _override_spec_n
+        from repro.experiments.suites import get_suite
+
+        reduced = _override_spec_n(get_suite("dls-large"), 300)
+        # Ladder rungs collapse to one workload; the heavy labeling
+        # schemes stay fenced out instead of running at the reduced n.
+        assert len(reduced.workloads) == 1
+        labels = {c.label for c in reduced.cells()}
+        assert "thm3.4-id-free" not in labels
+        assert "thm3.2+ids" not in labels
+        assert {"tz-k2", "beacons-14", "beacons-64"} <= labels

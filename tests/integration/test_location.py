@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.location import RingObjectLocation
-from repro.metrics import exponential_line, random_hypercube_metric
+from repro.metrics import exponential_line
 
 
 @pytest.fixture(scope="module")

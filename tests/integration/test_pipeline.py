@@ -5,7 +5,6 @@ The paper's Figure 1 shows how results feed each other: rings -> Thm 2.1
 exercise each arrow end to end on one shared workload.
 """
 
-import numpy as np
 import pytest
 
 from repro.graphs import knn_geometric_graph

@@ -16,7 +16,6 @@ from repro.metrics import (
     greedy_net,
     uniform_line,
 )
-from repro.metrics.graphmetric import ShortestPathMetric
 from repro.routing import RingRouting, TrivialRouting, TwoModeRouting
 from repro.smallworld import GreedyRingsModel, evaluate_model
 

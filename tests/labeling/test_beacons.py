@@ -1,6 +1,5 @@
 """Common-beacon (ε,δ)-triangulation baseline."""
 
-import numpy as np
 import pytest
 
 from repro.labeling import BeaconTriangulation

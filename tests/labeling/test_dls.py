@@ -1,6 +1,5 @@
 """Theorem 3.4 — id-free distance labeling."""
 
-import numpy as np
 import pytest
 
 from repro.labeling.dls import RingDLS

@@ -1,8 +1,6 @@
 """ScaleStructure — the shared X/Y/zooming skeleton of §3."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.labeling._scales import ScaleStructure

@@ -1,6 +1,5 @@
 """Theorem 3.2 — (0,δ)-triangulation."""
 
-import numpy as np
 import pytest
 
 from repro.labeling import RingTriangulation, TriangulationDLS

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import WeightedGraph, grid_graph
+from repro.graphs import WeightedGraph
 from repro.metrics.graphmetric import ShortestPathMetric
 
 

@@ -1,6 +1,5 @@
 """r-nets and nested hierarchies (paper §1.1, Lemma 1.4)."""
 
-import numpy as np
 import pytest
 
 from repro.metrics import NestedNets, greedy_net, uniform_line

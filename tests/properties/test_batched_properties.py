@@ -12,7 +12,7 @@ import pytest
 
 from repro import api
 from repro.labeling.encoding import DistanceCodec
-from repro.metrics.base import MetricSpace, RowCache
+from repro.metrics.base import RowCache
 
 ALL_WORKLOADS = sorted(api.workload_names())
 

@@ -1,6 +1,5 @@
 """Property-based tests: distance codec and bit accounting."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

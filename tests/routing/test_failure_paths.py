@@ -1,8 +1,7 @@
 """Routing failure handling: hop budgets and graceful non-delivery."""
 
-import pytest
 
-from repro.graphs import WeightedGraph, knn_geometric_graph
+from repro.graphs import WeightedGraph
 from repro.routing import RingRouting, TrivialRouting, evaluate_scheme
 from repro.routing.base import RouteResult
 

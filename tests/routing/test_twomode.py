@@ -1,6 +1,5 @@
 """Theorem 4.2 / B.1 two-mode routing."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import WeightedGraph

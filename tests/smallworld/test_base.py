@@ -1,6 +1,5 @@
 """Small-world driver and contact graph plumbing."""
 
-import numpy as np
 import pytest
 
 from repro.metrics import uniform_line
