@@ -56,6 +56,8 @@ from repro.api.facade import (
     evaluate,
     list_schemes,
     list_workloads,
+    load,
+    save,
 )
 
 __all__ = [
@@ -89,4 +91,6 @@ __all__ = [
     "evaluate",
     "list_schemes",
     "list_workloads",
+    "load",
+    "save",
 ]

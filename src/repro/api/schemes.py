@@ -112,6 +112,18 @@ class FittedScheme:
     def size_account(self) -> SizeAccount:
         raise NotImplementedError
 
+    def guarantee(self) -> Dict[str, Any]:
+        """The scheme's advertised quality guarantee, JSON-serializable.
+
+        The serve layer stamps this dict (plus the structure's content
+        hash) on every response, so estimates are *optimistically*
+        serveable: the caller knows the certified (stretch, δ) envelope
+        without any coordination.  ``stretch`` is a numeric worst-case
+        factor when the paper certifies one, else ``None`` with a
+        ``stretch_formula`` describing the asymptotic bound.
+        """
+        return {"kind": "none", "stretch": None}
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(workload={self.workload.name!r}, "
@@ -199,6 +211,13 @@ class TriangulationScheme(_EstimatorScheme):
         account.add("neighbor_distances", k * 64)  # exact float64 distances
         return account
 
+    def guarantee(self) -> Dict[str, Any]:
+        return {
+            "kind": "triangulation-thm3.2",
+            "stretch": self.inner.certified_ratio_bound(),
+            "delta": self.config.delta,
+        }
+
 
 @register_scheme(
     "beacons", problem="distance-estimation",
@@ -224,6 +243,16 @@ class BeaconsScheme(_EstimatorScheme):
 
     def size_account(self) -> SizeAccount:
         return self.inner.label_bits(0)
+
+    def guarantee(self) -> Dict[str, Any]:
+        # Shared beacon sets give an (ε,δ)-triangulation: the ratio bound
+        # holds for most pairs but fails for an ε-fraction (§1).
+        return {
+            "kind": "beacons-eps-delta",
+            "stretch": None,
+            "stretch_formula": "1+delta for a (1-eps) fraction of pairs",
+            "beacons": self.config.beacons,
+        }
 
 
 @register_scheme(
@@ -257,6 +286,14 @@ class RingDLSScheme(_EstimatorScheme):
     def size_account(self) -> SizeAccount:
         return self._worst_label_account()
 
+    def guarantee(self) -> Dict[str, Any]:
+        return {
+            "kind": "labels-thm3.4",
+            "stretch": None,
+            "stretch_formula": "1+O(delta)",
+            "delta": self.config.delta,
+        }
+
 
 @register_scheme(
     "labels-tri", problem="distance-labeling",
@@ -287,6 +324,18 @@ class TriangulationDLSScheme(_EstimatorScheme):
     def size_account(self) -> SizeAccount:
         return self._worst_label_account()
 
+    def guarantee(self) -> Dict[str, Any]:
+        inner = self.inner
+        return {
+            "kind": "dls-thm3.2",
+            # Quantization inflates the certified triangulation ratio by
+            # at most the codec's relative error (round-up encoding).
+            "stretch": inner.triangulation.certified_ratio_bound()
+            * (1.0 + inner.codec.relative_error),
+            "delta": self.config.delta,
+            "mantissa_bits": inner.codec.mantissa_bits,
+        }
+
 
 @register_scheme(
     "tz-oracle", problem="distance-labeling",
@@ -316,6 +365,14 @@ class OracleScheme(_EstimatorScheme):
 
     def size_account(self) -> SizeAccount:
         return self._worst_label_account()
+
+    def guarantee(self) -> Dict[str, Any]:
+        return {
+            "kind": "tz-oracle",
+            "stretch": float(self.inner.stretch_bound())
+            * (1.0 + self.inner.codec.relative_error),
+            "k": self.config.k,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +459,14 @@ class _RoutingAdapter(FittedScheme):
         )
         return inner.table_bits(best) + inner.label_bits(best)
 
+    def guarantee(self) -> Dict[str, Any]:
+        return {
+            "kind": "routing",
+            "stretch": None,
+            "stretch_formula": "1+O(delta)",
+            "delta": self.config.delta,
+        }
+
 
 @register_scheme(
     "route-trivial", problem="routing",
@@ -418,6 +483,9 @@ class TrivialRoutingScheme(_RoutingAdapter):
             row_cache_bytes=getattr(metric, "row_cache_budget", None),
         )
 
+    def guarantee(self) -> Dict[str, Any]:
+        return {"kind": "routing-trivial", "stretch": 1.0}
+
 
 @register_scheme(
     "route-thm2.1", problem="routing",
@@ -431,6 +499,11 @@ class RingRoutingScheme(_RoutingAdapter):
         return RingRouting(
             graph, delta=config.delta, metric=metric, executor=executor
         )
+
+    def guarantee(self) -> Dict[str, Any]:
+        out = super().guarantee()
+        out["kind"] = "routing-thm2.1"
+        return out
 
 
 @register_scheme(

@@ -17,7 +17,12 @@ Commands mirror the paper's four problems plus workload inspection:
   suite or a spec JSON file) through :mod:`repro.experiments`;
 * ``results``     — list or diff persisted experiment result sets;
 * ``suites``      — list the named suites / regenerate EXPERIMENTS.md;
-* ``cache``       — show the facade build cache's entries/hits/misses.
+* ``cache``       — show the facade build cache's entries/hits/misses
+  plus the row-cache byte accounting of cached lazy metrics;
+* ``save``        — build a scheme and persist it as a container file;
+* ``load``        — reopen a saved structure (zero-copy) and summarize;
+* ``serve``       — serve a saved structure over NDJSON/TCP with
+  micro-batched estimate calls.
 
 Everything is registry-driven: workloads come from
 ``repro.api.WORKLOADS`` (``--workload``), schemes from
@@ -320,7 +325,21 @@ def _cmd_results(args: argparse.Namespace) -> int:
 
     out = Path(args.out) if args.out else default_results_dir()
     if args.diff:
-        a, b = (ResultSet.load(_results_path(out, t)) for t in args.diff)
+        loaded = []
+        for target in args.diff:
+            path = _results_path(out, target)
+            try:
+                loaded.append(ResultSet.load(path))
+            except FileNotFoundError:
+                print(f"warning: no persisted result set {target!r} "
+                      f"(looked at {path}); run `repro run {target}` first",
+                      file=sys.stderr)
+                return 2
+            except (ValueError, KeyError, json.JSONDecodeError) as err:
+                print(f"warning: result set {target!r} is unreadable: {err}",
+                      file=sys.stderr)
+                return 2
+        a, b = loaded
         diff = a.diff(b)
         if not (diff["only_self"] or diff["only_other"] or diff["changed"]):
             print("result sets agree on every shared cell metric")
@@ -379,9 +398,101 @@ def _cmd_suites(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro import api
+    from repro.api.facade import _DEFAULT_CACHE
 
     for key, value in api.cache_info().items():
-        print(f"{key:<10s} {value}")
+        print(f"{key:<12s} {value}")
+    # Row-cache byte accounting: lazily-built graph metrics are where a
+    # cached instance actually spends heap beyond its distance matrix.
+    for spec, instance in _DEFAULT_CACHE._instances.items():
+        stats = getattr(instance.metric, "row_cache_stats", None)
+        if stats is None:
+            continue
+        report = stats()
+        line = "  ".join(f"{k}={v}" for k, v in report.items())
+        print(f"{spec.display:<20s} row-cache: {line}")
+    return 0
+
+
+def _structure_summary(fitted) -> str:
+    container = fitted.container
+    meta = container.meta
+    guarantee = json.dumps(meta.get("guarantee", {}), sort_keys=True)
+    lines = [
+        f"path        {container.path}",
+        f"scheme      {meta.get('scheme')}",
+        f"workload    {meta.get('workload', {}).get('workload')}"
+        f"(n={meta.get('metric', {}).get('n')})",
+        f"version     {container.version}",
+        f"hash        {container.content_hash}",
+        f"bytes       {container.path.stat().st_size:,} on disk, "
+        f"{container.resident_bytes():,} in arrays",
+        f"arrays      {len(container.arrays)}",
+        f"guarantee   {guarantee}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from repro import api
+
+    config = {}
+    if args.delta is not None:
+        config["delta"] = args.delta
+    workload_params: Dict[str, object] = {}
+    if args.k is not None:
+        workload_params["k"] = args.k
+    if args.dim is not None:
+        workload_params["dim"] = args.dim
+    fitted = api.build(
+        args.scheme, workload=args.workload, n=args.n, seed=args.seed,
+        config=config or None,
+        workload_params=workload_params or None,
+    )
+    content_hash = api.save(fitted, args.path)
+    size = Path(args.path).stat().st_size
+    print(f"saved {args.scheme} on {args.workload}(n={fitted.workload.n}) "
+          f"to {args.path} ({size:,} bytes, {content_hash})")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro import api
+
+    fitted = api.load(args.path, verify=args.verify)
+    print(_structure_summary(fitted))
+    if args.pair is not None:
+        u, v = args.pair
+        print(f"estimate({u},{v})  {fitted.inner.estimate(u, v):.6g}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import api
+    from repro.serve import StructureServer
+
+    fitted = api.load(args.path)
+
+    async def _run() -> None:
+        server = StructureServer(
+            fitted,
+            host=args.host,
+            port=args.port,
+            batch_pairs=args.batch_pairs,
+            batch_window_us=args.batch_window_us,
+        )
+        host, port = await server.start()
+        scheme = fitted.container.meta.get("scheme")
+        print(f"serving {scheme} from {args.path} on {host}:{port} "
+              f"(NDJSON; ops: estimate, route, stats, shutdown)", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -479,6 +590,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser(
         "cache", help="show the facade build cache's entries/hits/misses")
     p_cache.set_defaults(func=_cmd_cache)
+
+    from repro.serve.persist import PERSISTABLE_SCHEMES
+
+    p_save = sub.add_parser(
+        "save", help="build a scheme and persist it as a container file")
+    p_save.add_argument("path", help="output structure file")
+    p_save.add_argument("--scheme", default="triangulation",
+                        choices=list(PERSISTABLE_SCHEMES))
+    p_save.add_argument("--workload", default="hypercube",
+                        help="any workload from `repro list` (routing "
+                             "schemes need a graph workload, e.g. knn-graph)")
+    p_save.add_argument("--n", type=int, default=None)
+    p_save.add_argument("--seed", type=int, default=0)
+    p_save.add_argument("--dim", type=int, default=None)
+    p_save.add_argument("--k", type=int, default=None,
+                        help="kNN degree for graph workloads")
+    p_save.add_argument("--delta", type=float, default=None,
+                        help="scheme delta (schemes that accept one)")
+    p_save.set_defaults(func=_cmd_save)
+
+    p_load = sub.add_parser(
+        "load", help="open a saved structure and print its summary")
+    p_load.add_argument("path", help="structure file from `repro save`")
+    p_load.add_argument("--verify", action="store_true",
+                        help="recompute the content hash before loading")
+    p_load.add_argument("--pair", type=int, nargs=2, default=None,
+                        help="also print one distance estimate")
+    p_load.set_defaults(func=_cmd_load)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a saved structure over newline-delimited JSON")
+    p_serve.add_argument("path", help="structure file from `repro save`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 = pick a free port (printed on startup)")
+    p_serve.add_argument("--batch-pairs", type=int, default=4096,
+                         help="max pairs coalesced into one estimate call")
+    p_serve.add_argument("--batch-window-us", type=float, default=200.0,
+                         help="micro-batch collection window")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_sw = sub.add_parser("smallworld", help="searchable small worlds")
     _add_workload_arguments(p_sw)

@@ -241,3 +241,53 @@ def _gossip_gap(fitted) -> Dict[str, Any]:
         out[f"gossip_r{rounds}_coverage"] = float(scale_cov)
         out[f"gossip_r{rounds}_recall"] = float(recall)
     return out
+
+
+@register_probe("serve-roundtrip",
+                summary="container save→load round-trip: parity + timings")
+def _serve_roundtrip(fitted) -> Dict[str, Any]:
+    """Saves the fitted scheme to a container file, reopens it zero-copy
+    and replays sampled queries on both copies: ``roundtrip_equal`` is
+    the bit-for-bit verdict, ``save_s``/``load_s`` the persistence cost
+    and ``structure_bytes`` the on-disk footprint."""
+    import tempfile
+    import time
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.serve.persist import load_structure, save_structure
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "structure.repro"
+        tick = time.perf_counter()
+        save_structure(fitted, path)
+        save_s = time.perf_counter() - tick
+        tick = time.perf_counter()
+        loaded = load_structure(path)
+        load_s = time.perf_counter() - tick
+        n = fitted.workload.metric.n
+        rng = np.random.default_rng(17)
+        pairs = rng.integers(0, n, size=(256, 2))
+        inner, again = fitted.inner, loaded.inner
+        if hasattr(inner, "estimate_many"):
+            equal = np.array_equal(
+                inner.estimate_many(pairs[:, 0], pairs[:, 1]),
+                again.estimate_many(pairs[:, 0], pairs[:, 1]),
+            )
+        elif hasattr(inner, "estimate"):
+            equal = all(
+                inner.estimate(int(u), int(v)) == again.estimate(int(u), int(v))
+                for u, v in pairs
+            )
+        else:
+            equal = all(
+                inner.route(int(u), int(v)).path == again.route(int(u), int(v)).path
+                for u, v in pairs
+            )
+        return {
+            "roundtrip_equal": bool(equal),
+            "save_s": float(save_s),
+            "load_s": float(load_s),
+            "structure_bytes": int(path.stat().st_size),
+        }

@@ -55,6 +55,31 @@ def _smoke() -> ExperimentSpec:
     )
 
 
+@SUITES.register("serve-smoke",
+                 summary="save→load→serve round-trip parity across schemes")
+def _serve_smoke() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "serve-smoke",
+        description=(
+            "Every persistable scheme family built on one kNN graph, "
+            "saved to a container file, reopened zero-copy and replayed: "
+            "the serve-roundtrip probe asserts bit-for-bit parity and "
+            "reports save/load timings plus the on-disk footprint."
+        ),
+        workloads=[Workload.make("knn-graph", n=32, k=4, seed=80)],
+        schemes=[
+            SchemeSpec.make("triangulation", delta=0.3),
+            SchemeSpec.make("labels", delta=0.3),
+            SchemeSpec.make("labels-tri", delta=0.3),
+            SchemeSpec.make("tz-oracle", k=2),
+            SchemeSpec.make("route-trivial"),
+            SchemeSpec.make("route-thm2.1", delta=0.3),
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=100, seed=0)],
+        probes=["serve-roundtrip"],
+    )
+
+
 @SUITES.register("table1", summary="Table 1: (1+δ)-stretch routing on doubling graphs")
 def _table1() -> ExperimentSpec:
     return ExperimentSpec.make(

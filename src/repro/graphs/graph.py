@@ -116,6 +116,49 @@ class WeightedGraph:
             graph.add_edge(u, v, w)
         return graph
 
+    def to_adjacency_arrays(self) -> Dict[str, np.ndarray]:
+        """Directed adjacency as CSR arrays, preserving link-index order.
+
+        Persisting the *directed* adjacency (rather than a u<v edge list)
+        keeps every node's link enumeration ``φ_u`` byte-identical on
+        reload, so stored link indices stay valid.
+        """
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        for u in range(self._n):
+            indptr[u + 1] = indptr[u] + len(self._adjacency[u])
+        targets = np.empty(int(indptr[-1]), dtype=np.int64)
+        weights = np.empty(int(indptr[-1]), dtype=np.float64)
+        cursor = 0
+        for adj in self._adjacency:
+            for v, w in adj:
+                targets[cursor] = v
+                weights[cursor] = w
+                cursor += 1
+        return {
+            "adj_indptr": indptr,
+            "adj_targets": targets,
+            "adj_weights": weights,
+        }
+
+    @classmethod
+    def from_adjacency_arrays(
+        cls, arrays: Dict[str, np.ndarray]
+    ) -> "WeightedGraph":
+        """Inverse of :meth:`to_adjacency_arrays` (same link order)."""
+        indptr = np.asarray(arrays["adj_indptr"])
+        targets = np.asarray(arrays["adj_targets"])
+        weights = np.asarray(arrays["adj_weights"])
+        graph = cls(len(indptr) - 1)
+        for u in range(graph._n):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            adj = [
+                (int(targets[k]), float(weights[k])) for k in range(lo, hi)
+            ]
+            graph._adjacency[u] = adj
+            graph._edge_index[u] = {v: i for i, (v, _) in enumerate(adj)}
+            graph._max_out_degree = max(graph._max_out_degree, len(adj))
+        return graph
+
     def to_scipy_csr(self):
         """Sparse CSR adjacency matrix (for Dijkstra)."""
         from scipy.sparse import csr_matrix

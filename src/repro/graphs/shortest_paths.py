@@ -107,6 +107,45 @@ class FirstHopTable:
         # (dijkstra with directed=False on an undirected graph gives
         # per-source trees; first[u][t] is the hop out of u.)
 
+    def to_arrays(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """(meta, arrays) inventory for the on-disk container.
+
+        The dense backend persists its Θ(n²) ``first``/``dist`` matrices —
+        the expensive part of a rebuild.  The lazy backend persists
+        nothing: its rows are recomputed on demand from the graph CSR,
+        which is exactly what a fresh instance would do (bit-for-bit,
+        since rows derive from the same canonical CSR).
+        """
+        meta: Dict[str, object] = {"dense": self.dense}
+        arrays: Dict[str, np.ndarray] = {}
+        if self.dense:
+            arrays["first_hop"] = self._first
+            arrays["first_hop_dist"] = self.dist
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: WeightedGraph,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+        row_cache_bytes: Optional[int] = None,
+    ) -> "FirstHopTable":
+        """Rehydrate from :meth:`to_arrays` without re-running Dijkstra.
+
+        Dense tables keep the mapped arrays as-is (zero copy); lazy
+        tables rebuild their empty row cache over the graph.
+        """
+        if not meta.get("dense", True):
+            return cls(graph, dense=False, row_cache_bytes=row_cache_bytes)
+        table = cls.__new__(cls)
+        table.graph = graph
+        table.dense = True
+        table._first = np.asarray(arrays["first_hop"])
+        table.dist = np.asarray(arrays["first_hop_dist"])
+        table._pred = None
+        return table
+
     def _target_row(self, t: NodeId) -> np.ndarray:
         """Lazy backend: the (2, n) [distances; hops-toward-t] block of t.
 

@@ -65,6 +65,40 @@ class BeaconTriangulation:
         """The triangulation order (beacons per node)."""
         return len(self.beacons)
 
+    def to_arrays(self) -> Tuple[dict, dict]:
+        """(meta, arrays) inventory for the on-disk container."""
+        meta = {
+            "n": int(self.metric.n),
+            "codec": {
+                "min_distance": self.codec.min_distance,
+                "max_distance": self.codec.max_distance,
+                "mantissa_bits": self.codec.mantissa_bits,
+            },
+        }
+        arrays = {
+            "beacons": self.beacons,
+            "labels": self._labels,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, metric: MetricSpace, meta: dict, arrays: dict
+    ) -> "BeaconTriangulation":
+        """Rehydrate from :meth:`to_arrays` — the quantized (n, k) label
+        matrix is used as-is, no distance recomputation."""
+        codec_meta = meta["codec"]
+        tri = cls.__new__(cls)
+        tri.metric = metric
+        tri.beacons = np.asarray(arrays["beacons"])
+        tri.codec = DistanceCodec(
+            float(codec_meta["min_distance"]),
+            float(codec_meta["max_distance"]),
+            int(codec_meta["mantissa_bits"]),
+        )
+        tri._labels = np.asarray(arrays["labels"])
+        return tri
+
     def label(self, u: NodeId) -> np.ndarray:
         """Stored beacon distances of u."""
         return self._labels[u]

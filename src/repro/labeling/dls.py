@@ -52,6 +52,23 @@ from repro.metrics.base import MetricSpace
 SegmentPointer = Tuple[str, int, int]
 
 
+class _DetachedScales:
+    """Stand-in scale structure for labels loaded from disk.
+
+    Decoding only ever consults ``levels_n``; anything else was
+    construction scaffolding and raises if touched.
+    """
+
+    def __init__(self, levels_n: int) -> None:
+        self.levels_n = levels_n
+
+    def __getattr__(self, name: str):
+        raise RuntimeError(
+            f"ScaleStructure.{name} is construction-time state and is not "
+            "persisted; unavailable on a loaded structure"
+        )
+
+
 @dataclass
 class NodeLabel:
     """The Theorem 3.4 label of one node (id-free).
@@ -237,6 +254,172 @@ class RingDLS:
             len(self._segment_members(u, "Y", i)),
         )
         return 1 + bits_for_count(longest)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    _TYP_CODE = {"X": 0, "Y": 1}
+    _TYP_NAME = ("X", "Y")
+
+    def to_arrays(self) -> tuple:
+        """(meta, arrays) inventory for the on-disk container.
+
+        Labels flatten into CSR blocks: segment distances node-major by
+        (level, type); translation triples as 5-column int rows
+        ``[v_typ, v_idx, psi, w_typ, w_idx]`` (levels are implied — a
+        level-i entry always maps a level-i pointer to a level-(i+1)
+        one); zooming sequences as an anchor index plus a ψ matrix with
+        -1 for "none".  Per-label :class:`SizeAccount` components go in
+        a dense (n, categories) matrix so accounting survives reload.
+        """
+        n = self.metric.n
+        levels_n = self.scales.levels_n
+        seg_indptr = np.zeros(n * levels_n * 2 + 1, dtype=np.int64)
+        seg_chunks: List[np.ndarray] = []
+        zeta_indptr = np.zeros(n * max(0, levels_n - 1) + 1, dtype=np.int64)
+        zeta_rows: List[List[int]] = []
+        zoom0_idx = np.zeros(n, dtype=np.int64)
+        zoom_psi = np.full((n, levels_n), -1, dtype=np.int64)
+        categories = sorted(
+            {cat for label in self.labels for cat in label.size.as_dict()}
+        )
+        cat_index = {cat: j for j, cat in enumerate(categories)}
+        size_bits = np.zeros((n, len(categories)), dtype=np.int64)
+
+        cursor = 0
+        for u, label in enumerate(self.labels):
+            for i in range(levels_n):
+                for typ in ("X", "Y"):
+                    seg = label.segments.get((typ, i), ())
+                    seg_chunks.append(np.asarray(seg, dtype=np.float64))
+                    cursor += 1
+                    seg_indptr[cursor] = seg_indptr[cursor - 1] + len(seg)
+            for i in range(levels_n - 1):
+                slot = u * (levels_n - 1) + i
+                table = label.zeta.get(i, {})
+                for ((v_typ, _v_lvl, v_idx), psi), (
+                    w_typ,
+                    _w_lvl,
+                    w_idx,
+                ) in table.items():
+                    zeta_rows.append(
+                        [
+                            self._TYP_CODE[v_typ],
+                            v_idx,
+                            psi,
+                            self._TYP_CODE[w_typ],
+                            w_idx,
+                        ]
+                    )
+                zeta_indptr[slot + 1] = zeta_indptr[slot] + len(table)
+            zoom0_idx[u] = label.zoom0[2]
+            for i, psi in enumerate(label.zoom_virtual_indices):
+                if psi is not None:
+                    zoom_psi[u, i] = psi
+            for cat, bits in label.size.as_dict().items():
+                size_bits[u, cat_index[cat]] = bits
+
+        meta = {
+            "n": int(n),
+            "delta": self.delta,
+            "levels_n": int(levels_n),
+            "size_categories": categories,
+            "codec": {
+                "min_distance": self.codec.min_distance,
+                "max_distance": self.codec.max_distance,
+                "mantissa_bits": self.codec.mantissa_bits,
+            },
+        }
+        arrays = {
+            "seg_indptr": seg_indptr,
+            "seg_dist": np.concatenate(seg_chunks)
+            if seg_chunks
+            else np.empty(0, dtype=np.float64),
+            "zeta_indptr": zeta_indptr,
+            "zeta_data": np.asarray(zeta_rows, dtype=np.int64).reshape(
+                len(zeta_rows), 5
+            ),
+            "zoom0_idx": zoom0_idx,
+            "zoom_psi": zoom_psi,
+            "size_bits": size_bits,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(cls, metric: MetricSpace, meta: dict, arrays: dict) -> "RingDLS":
+        """Rehydrate from :meth:`to_arrays`.
+
+        The result is *detached*: labels decode bit-for-bit (segments,
+        translation maps, zooming sequences and size accounts are fully
+        restored), while the construction-time scale structure and
+        virtual-neighbor enumerations are not — only ``levels_n``
+        survives, which is all the decoders consult.
+        """
+        codec_meta = meta["codec"]
+        n = int(meta["n"])
+        levels_n = int(meta["levels_n"])
+        categories = list(meta["size_categories"])
+
+        dls = cls.__new__(cls)
+        dls.metric = metric
+        dls.delta = float(meta["delta"])
+        dls.scales = _DetachedScales(levels_n)
+        dls.codec = DistanceCodec(
+            float(codec_meta["min_distance"]),
+            float(codec_meta["max_distance"]),
+            int(codec_meta["mantissa_bits"]),
+        )
+        dls._z_levels = None
+        dls._virtual = None
+        dls._virtual_index = None
+
+        seg_indptr = np.asarray(arrays["seg_indptr"])
+        seg_dist = np.asarray(arrays["seg_dist"])
+        zeta_indptr = np.asarray(arrays["zeta_indptr"])
+        zeta_data = np.asarray(arrays["zeta_data"])
+        zoom0_idx = np.asarray(arrays["zoom0_idx"])
+        zoom_psi = np.asarray(arrays["zoom_psi"])
+        size_bits = np.asarray(arrays["size_bits"])
+
+        labels: List[NodeLabel] = []
+        cursor = 0
+        for u in range(n):
+            segments: Dict[Tuple[str, int], Tuple[float, ...]] = {}
+            for i in range(levels_n):
+                for typ in ("X", "Y"):
+                    lo, hi = seg_indptr[cursor], seg_indptr[cursor + 1]
+                    segments[(typ, i)] = tuple(float(x) for x in seg_dist[lo:hi])
+                    cursor += 1
+            zeta: Dict[int, Dict[Tuple[SegmentPointer, int], SegmentPointer]] = {}
+            for i in range(levels_n - 1):
+                slot = u * (levels_n - 1) + i
+                lo, hi = int(zeta_indptr[slot]), int(zeta_indptr[slot + 1])
+                table: Dict[Tuple[SegmentPointer, int], SegmentPointer] = {}
+                for row in zeta_data[lo:hi]:
+                    v_ptr = (cls._TYP_NAME[int(row[0])], i, int(row[1]))
+                    w_ptr = (cls._TYP_NAME[int(row[3])], i + 1, int(row[4]))
+                    table[(v_ptr, int(row[2]))] = w_ptr
+                zeta[i] = table
+            size = SizeAccount()
+            for j, cat in enumerate(categories):
+                bits = int(size_bits[u, j])
+                if bits:
+                    size.add(cat, bits)
+            labels.append(
+                NodeLabel(
+                    segments=segments,
+                    zeta=zeta,
+                    zoom0=("Y", 0, int(zoom0_idx[u])),
+                    zoom_virtual_indices=tuple(
+                        None if psi < 0 else int(psi) for psi in zoom_psi[u]
+                    ),
+                    size=size,
+                )
+            )
+        dls.labels = labels
+        dls._decode_index = [None] * n
+        return dls
 
     # ------------------------------------------------------------------
     # Decoding (labels only)
@@ -447,6 +630,11 @@ class RingDLS:
 
     def max_virtual_neighbors(self) -> int:
         """max_u |T_u| — the paper bounds it by O_{α,δ}(log n · log Δ)."""
+        if self._virtual is None:
+            raise RuntimeError(
+                "virtual-neighbor enumerations are construction-time state "
+                "and are not persisted; unavailable on a loaded structure"
+            )
         return max(len(t) for t in self._virtual)
 
     # ------------------------------------------------------------------

@@ -96,6 +96,96 @@ class ThorupZwickOracle:
             self._bunches.append(bunch)
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> tuple:
+        """(meta, arrays) inventory: pivots/pivot distances as dense
+        (n, k) blocks, the level hierarchy and the bunches as CSR."""
+        n = self.metric.n
+        level_indptr = np.zeros(self.k + 1, dtype=np.int64)
+        for i, level in enumerate(self.levels):
+            level_indptr[i + 1] = level_indptr[i] + level.size
+        level_ids = (
+            np.concatenate(self.levels).astype(np.int64)
+            if self.levels
+            else np.empty(0, dtype=np.int64)
+        )
+        bunch_indptr = np.zeros(n + 1, dtype=np.int64)
+        ids_chunks, dist_chunks = [], []
+        for v, bunch in enumerate(self._bunches):
+            ids = np.fromiter(sorted(bunch), dtype=np.int64, count=len(bunch))
+            ids_chunks.append(ids)
+            dist_chunks.append(
+                np.array([bunch[int(w)] for w in ids], dtype=np.float64)
+            )
+            bunch_indptr[v + 1] = bunch_indptr[v] + ids.size
+        meta = {
+            "n": int(n),
+            "k": int(self.k),
+            "codec": {
+                "min_distance": self.codec.min_distance,
+                "max_distance": self.codec.max_distance,
+                "mantissa_bits": self.codec.mantissa_bits,
+            },
+        }
+        arrays = {
+            "level_indptr": level_indptr,
+            "level_ids": level_ids,
+            "pivots": self._pivots.astype(np.int64),
+            "pivot_dist": self._pivot_dist,
+            "bunch_indptr": bunch_indptr,
+            "bunch_ids": np.concatenate(ids_chunks)
+            if ids_chunks
+            else np.empty(0, dtype=np.int64),
+            "bunch_dist": np.concatenate(dist_chunks)
+            if dist_chunks
+            else np.empty(0, dtype=np.float64),
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, metric: MetricSpace, meta: dict, arrays: dict
+    ) -> "ThorupZwickOracle":
+        """Rehydrate from :meth:`to_arrays`.
+
+        Bunches are rebuilt as dicts (the query walk needs membership
+        tests); estimates are unaffected by dict order, so the sorted
+        CSR layout is bit-for-bit equivalent to the built oracle.
+        """
+        codec_meta = meta["codec"]
+        oracle = cls.__new__(cls)
+        oracle.metric = metric
+        oracle.k = int(meta["k"])
+        oracle.codec = DistanceCodec(
+            float(codec_meta["min_distance"]),
+            float(codec_meta["max_distance"]),
+            int(codec_meta["mantissa_bits"]),
+        )
+        level_indptr = np.asarray(arrays["level_indptr"])
+        level_ids = np.asarray(arrays["level_ids"])
+        oracle.levels = [
+            np.array(level_ids[level_indptr[i] : level_indptr[i + 1]])
+            for i in range(oracle.k)
+        ]
+        oracle._pivots = np.asarray(arrays["pivots"])
+        oracle._pivot_dist = np.asarray(arrays["pivot_dist"])
+        bunch_indptr = np.asarray(arrays["bunch_indptr"])
+        bunch_ids = np.asarray(arrays["bunch_ids"])
+        bunch_dist = np.asarray(arrays["bunch_dist"])
+        oracle._bunches = []
+        for v in range(int(meta["n"])):
+            lo, hi = int(bunch_indptr[v]), int(bunch_indptr[v + 1])
+            oracle._bunches.append(
+                {
+                    int(w): float(d)
+                    for w, d in zip(bunch_ids[lo:hi], bunch_dist[lo:hi])
+                }
+            )
+        return oracle
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 

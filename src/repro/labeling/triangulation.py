@@ -142,6 +142,44 @@ class RingTriangulation:
             )
         return self._packed.dplus_many(us, vs)
 
+    def to_arrays(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """(meta, arrays) inventory for the on-disk container.
+
+        The CSR label arrays *are* the queryable structure; the
+        construction-time :class:`ScaleStructure` is scaffolding and is
+        not persisted.
+        """
+        meta: Dict[str, object] = {"delta": self.delta, "n": int(self.metric.n)}
+        arrays = {
+            "label_indptr": self._indptr,
+            "label_ids": self._ids,
+            "label_dist": self._dist,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        metric: MetricSpace,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> "RingTriangulation":
+        """Rehydrate from :meth:`to_arrays` — zero copy, no net rebuild.
+
+        The result is *detached*: estimation works bit-for-bit off the
+        CSR arrays, but ``scales`` is ``None`` (construction internals
+        were scaffolding, not part of the queryable structure).
+        """
+        tri = cls.__new__(cls)
+        tri.metric = metric
+        tri.delta = float(meta["delta"])
+        tri.scales = None
+        tri._indptr = np.asarray(arrays["label_indptr"])
+        tri._ids = np.asarray(arrays["label_ids"])
+        tri._dist = np.asarray(arrays["label_dist"])
+        tri._packed = None
+        return tri
+
     def certified_ratio_bound(self) -> float:
         """The guaranteed worst-pair D+/D- ratio: (1+2δ)/(1-2δ)."""
         return (1 + 2 * self.delta) / (1 - 2 * self.delta)
@@ -214,6 +252,49 @@ class TriangulationDLS:
         n = self.triangulation.metric.n
         per_beacon = bits_for_count(n) + self.codec.bits_per_distance
         return int(np.diff(self._indptr).max()) * per_beacon
+
+    def to_arrays(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """(meta, arrays) inventory: shared CSR ids plus *both* distance
+        blocks (raw for the carrier triangulation, quantized for the DLS
+        itself), and the codec's three defining parameters."""
+        meta: Dict[str, object] = {
+            "delta": self.triangulation.delta,
+            "n": int(self.triangulation.metric.n),
+            "codec": {
+                "min_distance": self.codec.min_distance,
+                "max_distance": self.codec.max_distance,
+                "mantissa_bits": self.codec.mantissa_bits,
+            },
+        }
+        arrays = {
+            "label_indptr": self._indptr,
+            "label_ids": self._ids,
+            "label_dist": self.triangulation._dist,
+            "label_dist_quantized": self._dist,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        metric: MetricSpace,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> "TriangulationDLS":
+        """Rehydrate from :meth:`to_arrays` without re-quantizing."""
+        codec_meta = meta["codec"]
+        dls = cls.__new__(cls)
+        dls.triangulation = RingTriangulation.from_arrays(metric, meta, arrays)
+        dls.codec = DistanceCodec(
+            float(codec_meta["min_distance"]),
+            float(codec_meta["max_distance"]),
+            int(codec_meta["mantissa_bits"]),
+        )
+        dls._indptr = dls.triangulation._indptr
+        dls._ids = dls.triangulation._ids
+        dls._dist = np.asarray(arrays["label_dist_quantized"])
+        dls._packed = None
+        return dls
 
     def estimate(self, u: NodeId, v: NodeId) -> float:
         """D+ over common stored beacons (labels only)."""

@@ -1,9 +1,16 @@
 """Metric persistence.
 
 Benchmark workloads and externally supplied latency matrices are shared
-as ``.npz`` files holding the full distance matrix (plus optional point
-coordinates).  Loading always returns a validated
+on disk; loading always returns a validated
 :class:`~repro.metrics.matrix.DistanceMatrixMetric`.
+
+Writes go through the versioned container format of
+:mod:`repro.serve.container` (kind ``"metric"``): a JSON header plus
+64-byte-aligned raw array segments, so a reload memory-maps the matrix
+instead of inflating a zip archive.  Reads sniff the file: container
+files open zero-copy, while legacy ``.npz`` archives (everything this
+module wrote before the container format existed) keep loading through
+the old ``np.load`` path.
 """
 
 from __future__ import annotations
@@ -19,8 +26,23 @@ from repro.metrics.matrix import DistanceMatrixMetric
 PathLike = Union[str, Path]
 
 
-def save_metric(metric: MetricSpace, path: PathLike) -> None:
-    """Persist a metric's distance matrix (and coordinates if Euclidean)."""
+def _is_container(path: Path) -> bool:
+    from repro.serve.container import MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def save_metric(metric: MetricSpace, path: PathLike) -> str:
+    """Persist a metric's distance matrix (and coordinates if Euclidean).
+
+    Writes a versioned container file; returns its content hash.
+    """
+    from repro.serve.container import write_container
+
     path = Path(path)
     rows = np.vstack([metric.distances_from(u) for u in range(metric.n)])
     rows = (rows + rows.T) / 2.0  # exact symmetry for the reload validator
@@ -28,12 +50,26 @@ def save_metric(metric: MetricSpace, path: PathLike) -> None:
     points = getattr(metric, "points", None)
     if points is not None:
         arrays["points"] = np.asarray(points)
-    np.savez_compressed(path, **arrays)
+    meta = {"n": int(metric.n), "has_points": points is not None}
+    return write_container(path, kind="metric", meta=meta, arrays=arrays)
 
 
-def load_metric(path: PathLike) -> DistanceMatrixMetric:
-    """Load a metric saved by :func:`save_metric` (validated on load)."""
-    with np.load(Path(path)) as data:
+def load_metric(path: PathLike, mmap: bool = True) -> DistanceMatrixMetric:
+    """Load a metric saved by :func:`save_metric` (validated on load).
+
+    Accepts both container files (memory-mapped when ``mmap=True``) and
+    legacy ``.npz`` archives.
+    """
+    path = Path(path)
+    if _is_container(path):
+        from repro.serve.container import read_container
+
+        container = read_container(path, mmap=mmap)
+        if container.kind != "metric" or "matrix" not in container.arrays:
+            raise ValueError(f"{path}: not a saved metric (no 'matrix' array)")
+        # Copy out of the mapping: the metric owns a mutable matrix.
+        return DistanceMatrixMetric(np.array(container.arrays["matrix"]))
+    with np.load(path) as data:
         if "matrix" not in data:
             raise ValueError(f"{path}: not a saved metric (no 'matrix' array)")
         return DistanceMatrixMetric(np.array(data["matrix"]))
@@ -41,7 +77,14 @@ def load_metric(path: PathLike) -> DistanceMatrixMetric:
 
 def load_points(path: PathLike) -> Optional[np.ndarray]:
     """Coordinates stored alongside the matrix, if any."""
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    if _is_container(path):
+        from repro.serve.container import read_container
+
+        container = read_container(path)
+        points = container.arrays.get("points")
+        return None if points is None else np.array(points)
+    with np.load(path) as data:
         if "points" in data:
             return np.array(data["points"])
     return None

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.packed import PackedRings
 from repro.core.rings import net_rings
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import FirstHopTable
@@ -169,6 +170,85 @@ class RingRouting(RoutingScheme):
                 )
             indices.append(idx)
         return RingRoutingLabel(node=t, indices=tuple(indices))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> tuple:
+        """(meta, arrays): graph adjacency, first hops, packed rings,
+        zooming matrix and encoded labels — everything :meth:`route` and
+        the accounting read.  The nets are construction scaffolding (the
+        rings and zooming sequences already encode their output) and are
+        not persisted."""
+        fh_meta, fh_arrays = self.first_hops.to_arrays()
+        arrays = dict(self.graph.to_adjacency_arrays())
+        arrays.update(fh_arrays)
+        arrays["ring_indptr"] = self._indptr
+        arrays["ring_members"] = self._members
+        arrays["ring_radii"] = self.rings_packed.radii
+        arrays["zoom"] = self._zoom
+        arrays["label_indices"] = np.asarray(
+            [label.indices for label in self.labels], dtype=np.int32
+        ).reshape(self.graph.n, self.levels)
+        meta = {
+            "delta": self.delta,
+            "levels": int(self.levels),
+            "ring_radius": [float(r) for r in self._ring_radius],
+            "first_hops": fh_meta,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict,
+        row_cache_bytes: Optional[int] = None,
+    ) -> "RingRouting":
+        """Rehydrate from :meth:`to_arrays` with zero net construction.
+
+        The attached metric is always the lazy (row-on-demand)
+        :class:`ShortestPathMetric` — routing itself never consults it,
+        and evaluation distances are identical either way; a loaded
+        structure must not pay an APSP rebuild."""
+        graph = WeightedGraph.from_adjacency_arrays(arrays)
+        scheme = cls.__new__(cls)
+        scheme.graph = graph
+        scheme.delta = float(meta["delta"])
+        scheme.metric = (
+            ShortestPathMetric(graph, dense=False)
+            if row_cache_bytes is None
+            else ShortestPathMetric(
+                graph, dense=False, row_cache_bytes=row_cache_bytes
+            )
+        )
+        scheme.first_hops = FirstHopTable.from_arrays(
+            graph, meta["first_hops"], arrays, row_cache_bytes=row_cache_bytes
+        )
+        scheme.levels = int(meta["levels"])
+        scheme.nets = None
+        scheme._ring_radius = [float(r) for r in meta["ring_radius"]]
+        scheme.rings_packed = PackedRings(
+            scheme.metric,
+            keys=range(scheme.levels),
+            radii=np.asarray(arrays["ring_radii"]),
+            indptr=np.asarray(arrays["ring_indptr"]),
+            members=np.asarray(arrays["ring_members"]),
+            provenance={"builder": "loaded", "sorted": True},
+        )
+        scheme._indptr = scheme.rings_packed.indptr
+        scheme._members = scheme.rings_packed.members
+        scheme._sizes = scheme.rings_packed.ring_sizes()
+        scheme._max_ring_card = scheme.rings_packed.max_ring_cardinality()
+        scheme._zoom = np.asarray(arrays["zoom"])
+        label_indices = np.asarray(arrays["label_indices"])
+        scheme.labels = [
+            RingRoutingLabel(node=t, indices=tuple(int(x) for x in label_indices[t]))
+            for t in range(graph.n)
+        ]
+        scheme._zeta_triples = None
+        return scheme
 
     # ------------------------------------------------------------------
     # Translation functions ζ_uj, derived from the packed enumerations

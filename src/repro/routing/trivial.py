@@ -56,6 +56,30 @@ class TrivialRouting(RoutingScheme):
             header_bits=header,
         )
 
+    def to_arrays(self) -> tuple:
+        """(meta, arrays): the graph adjacency plus the first-hop table."""
+        fh_meta, fh_arrays = self.first_hops.to_arrays()
+        arrays = dict(self.graph.to_adjacency_arrays())
+        arrays.update(fh_arrays)
+        return {"first_hops": fh_meta}, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict,
+        row_cache_bytes: Optional[int] = None,
+    ) -> "TrivialRouting":
+        """Rehydrate from :meth:`to_arrays` (no Dijkstra rerun for the
+        dense backend; the lazy backend recomputes rows on demand)."""
+        graph = WeightedGraph.from_adjacency_arrays(arrays)
+        scheme = cls.__new__(cls)
+        scheme.graph = graph
+        scheme.first_hops = FirstHopTable.from_arrays(
+            graph, meta["first_hops"], arrays, row_cache_bytes=row_cache_bytes
+        )
+        return scheme
+
     def table_bits(self, u: NodeId) -> SizeAccount:
         account = SizeAccount()
         n = self.graph.n

@@ -62,3 +62,57 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeCommands:
+    def test_save_then_load(self, tmp_path, capsys):
+        path = tmp_path / "tri.repro"
+        code = main(["save", str(path), "--scheme", "triangulation",
+                     "--workload", "uline", "--n", "32", "--delta", "0.3"])
+        assert code == 0
+        assert path.is_file()
+        assert "saved triangulation" in capsys.readouterr().out
+
+        code = main(["load", str(path), "--pair", "0", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sha256:" in out
+        assert "triangulation" in out
+        assert "estimate(0,20)" in out
+
+    def test_save_routing_scheme(self, tmp_path, capsys):
+        path = tmp_path / "router.repro"
+        code = main(["save", str(path), "--scheme", "route-thm2.1",
+                     "--workload", "knn-graph", "--n", "32", "--k", "4",
+                     "--delta", "0.3"])
+        assert code == 0
+        code = main(["load", str(path), "--verify"])
+        assert code == 0
+        assert "route-thm2.1" in capsys.readouterr().out
+
+    def test_load_rejects_non_container(self, tmp_path):
+        path = tmp_path / "garbage.repro"
+        path.write_bytes(b"not a container at all")
+        with pytest.raises(Exception, match="magic"):
+            main(["load", str(path)])
+
+    def test_results_diff_missing_suite_warns(self, tmp_path, capsys):
+        code = main(["results", "--out", str(tmp_path),
+                     "--diff", "missing-a", "missing-b"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "missing-a" in err
+
+    def test_cache_reports_row_cache_stats(self, capsys):
+        from repro import api
+
+        api.clear_cache()
+        api.build_workload("knn-graph", n=24, seed=1)
+        try:
+            assert main(["cache"]) == 0
+            out = capsys.readouterr().out
+            assert "entries" in out
+            assert "row-cache" in out
+        finally:
+            api.clear_cache()

@@ -1,0 +1,139 @@
+"""The container file format: layout, validation, corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.container import (
+    FORMAT_VERSION,
+    MAGIC,
+    Container,
+    ContainerError,
+    read_container,
+    write_container,
+)
+
+
+@pytest.fixture()
+def sample(tmp_path):
+    path = tmp_path / "sample.repro"
+    arrays = {
+        "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "b": np.linspace(0.0, 1.0, 7),
+        "empty": np.empty((0, 2), dtype=np.float32),
+    }
+    content_hash = write_container(
+        path, kind="demo", meta={"x": 1, "nested": {"y": [1, 2]}}, arrays=arrays
+    )
+    return path, arrays, content_hash
+
+
+class TestRoundtrip:
+    def test_arrays_bit_for_bit(self, sample):
+        path, arrays, _ = sample
+        container = read_container(path)
+        for name, original in arrays.items():
+            loaded = container.arrays[name]
+            assert loaded.dtype == original.dtype
+            assert loaded.shape == original.shape
+            assert np.array_equal(loaded, original)
+
+    def test_meta_and_kind(self, sample):
+        path, _, content_hash = sample
+        container = read_container(path)
+        assert container.kind == "demo"
+        assert container.meta == {"x": 1, "nested": {"y": [1, 2]}}
+        assert container.content_hash == content_hash
+        assert container.version == FORMAT_VERSION
+
+    def test_mmap_and_copy_modes_agree(self, sample):
+        path, _, _ = sample
+        mapped = read_container(path, mmap=True)
+        copied = read_container(path, mmap=False)
+        for name in mapped.arrays:
+            assert np.array_equal(mapped.arrays[name], copied.arrays[name])
+
+    def test_segments_are_64_byte_aligned(self, sample):
+        path, _, _ = sample
+        container = read_container(path)
+        header_len = int.from_bytes(
+            path.read_bytes()[len(MAGIC) : len(MAGIC) + 8], "little"
+        )
+        data_start = -(-(len(MAGIC) + 8 + header_len) // 64) * 64
+        for entry in json.loads(
+            path.read_bytes()[len(MAGIC) + 8 : len(MAGIC) + 8 + header_len]
+        )["arrays"]:
+            assert (data_start + entry["offset"]) % 64 == 0
+        assert container.resident_bytes() == sum(
+            a.nbytes for a in container.arrays.values()
+        )
+
+    def test_content_hash_is_deterministic(self, sample, tmp_path):
+        path, arrays, content_hash = sample
+        other = tmp_path / "again.repro"
+        again = write_container(
+            other, kind="demo", meta={"x": 1, "nested": {"y": [1, 2]}},
+            arrays=arrays,
+        )
+        assert again == content_hash
+
+    def test_verify_passes_on_intact_file(self, sample):
+        path, _, _ = sample
+        assert read_container(path, verify=True).verify()
+
+
+class TestRejection:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.repro"
+        path.write_bytes(b"NOTABOX!" + b"\0" * 64)
+        with pytest.raises(ContainerError, match="magic"):
+            read_container(path)
+
+    def test_truncated_file(self, sample):
+        path, _, _ = sample
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+        with pytest.raises(ContainerError):
+            read_container(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "tiny.repro"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(ContainerError):
+            read_container(path)
+
+    def test_corrupt_header_json(self, sample):
+        path, _, _ = sample
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC) + 8] = ord("!")  # first header byte: breaks JSON
+        path.write_bytes(bytes(data))
+        with pytest.raises(ContainerError):
+            read_container(path)
+
+    def test_future_version_rejected(self, sample):
+        path, _, _ = sample
+        data = path.read_bytes()
+        header_len = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 8], "little")
+        start = len(MAGIC) + 8
+        header = json.loads(data[start : start + header_len])
+        header["version"] = FORMAT_VERSION + 1
+        raw = json.dumps(header).encode("utf-8")
+        raw += b" " * (header_len - len(raw))  # keep every offset valid
+        path.write_bytes(data[: len(MAGIC)] + data[len(MAGIC) : start]
+                         + raw + data[start + header_len :])
+        with pytest.raises(ContainerError, match="version"):
+            read_container(path)
+
+    def test_verify_catches_flipped_payload_byte(self, sample):
+        path, _, _ = sample
+        data = bytearray(path.read_bytes())
+        header_len = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 8], "little")
+        data_start = -(-(len(MAGIC) + 8 + header_len) // 64) * 64
+        data[data_start] ^= 0xFF  # first byte of the first array segment
+        path.write_bytes(bytes(data))
+        container = read_container(path)  # structure is still consistent
+        with pytest.raises(ContainerError, match="hash"):
+            container.verify()
+        with pytest.raises(ContainerError, match="hash"):
+            read_container(path, verify=True)

@@ -1,0 +1,184 @@
+"""The asyncio query service: batching, concurrency, stats, shutdown."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.serve import ServeClient, ServeError, StructureServer
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return api.build("triangulation", workload="hypercube", n=40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def routed(tmp_path_factory):
+    built = api.build("route-thm2.1", workload="knn-graph", n=40, seed=3)
+    path = tmp_path_factory.mktemp("serve") / "router.repro"
+    api.save(built, path)
+    return api.load(path)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(fitted, body, **options):
+    server = StructureServer(fitted, **options)
+    host, port = await server.start()
+    runner = asyncio.create_task(server.serve_until_stopped())
+    try:
+        return await body(server, host, port)
+    finally:
+        await server.stop()
+        await asyncio.wait_for(runner, 10)
+
+
+class TestEstimate:
+    def test_single_client_parity(self, fitted):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            rng = np.random.default_rng(0)
+            pairs = rng.integers(0, 40, size=(64, 2))
+            answers = await client.estimate(pairs)
+            await client.close()
+            return pairs, answers
+
+        pairs, answers = _run(_with_server(fitted, body))
+        expected = fitted.inner.estimate_many(pairs[:, 0], pairs[:, 1])
+        assert np.array_equal(answers, expected)
+
+    def test_two_clients_interleaved_batches(self, fitted):
+        async def body(server, host, port):
+            one = await ServeClient.connect(host, port)
+            two = await ServeClient.connect(host, port)
+            rng = np.random.default_rng(1)
+            chunks = [rng.integers(0, 40, size=(25, 2)) for _ in range(6)]
+            results = await asyncio.gather(*[
+                (one if i % 2 == 0 else two).estimate(chunk)
+                for i, chunk in enumerate(chunks)
+            ])
+            await one.close()
+            await two.close()
+            return chunks, results, dict(server.counters)
+
+        chunks, results, counters = _run(_with_server(fitted, body))
+        for chunk, answers in zip(chunks, results):
+            expected = fitted.inner.estimate_many(chunk[:, 0], chunk[:, 1])
+            assert np.array_equal(answers, expected)
+        assert counters["estimate_pairs"] == 150
+        # Micro-batching coalesced concurrent requests: strictly fewer
+        # vectorized calls than requests.
+        assert counters["estimate_batches"] <= 6
+
+    def test_batch_size_cap_respected(self, fitted):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            response = await client.request(
+                "estimate", pairs=[[0, 1], [2, 3], [4, 5]]
+            )
+            await client.close()
+            return response
+
+        response = _run(_with_server(fitted, body, batch_pairs=2))
+        assert len(response["estimates"]) == 3
+
+    def test_response_carries_guarantee_and_hash(self, routed):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            await client.estimate([(0, 1)])
+            guarantee = client.last_guarantee
+            content_hash = client.last_structure_hash
+            await client.close()
+            return guarantee, content_hash
+
+        guarantee, content_hash = _run(_with_server(routed, body))
+        assert guarantee["kind"] == "routing-thm2.1"
+        assert content_hash == routed.structure_hash
+
+
+class TestRouteAndStats:
+    def test_route_op(self, routed):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            routes = await client.route([(0, 7), (3, 3)])
+            await client.close()
+            return routes
+
+        routes = _run(_with_server(routed, body))
+        expected = routed.inner.route(0, 7)
+        assert routes[0]["reached"] is True
+        assert routes[0]["path"] == [int(x) for x in expected.path]
+        assert routes[1]["hops"] == 0
+
+    def test_route_rejected_for_estimators(self, fitted):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            with pytest.raises(ServeError, match="routing"):
+                await client.route([(0, 1)])
+            await client.close()
+
+        _run(_with_server(fitted, body))
+
+    def test_stats_report_counters_and_caches(self, routed):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            await client.estimate([(0, 1), (2, 3)])
+            await client.route([(0, 7)])
+            stats = await client.stats()
+            await client.close()
+            return stats
+
+        stats = _run(_with_server(routed, body))
+        assert stats["n"] == 40
+        assert stats["counters"]["estimate_pairs"] == 2
+        assert stats["counters"]["route_pairs"] == 1
+        assert stats["structure_bytes"] > 0
+        # Satellite: row-cache byte accounting for the lazy graph metric.
+        assert "metric_row_cache" in stats
+        assert stats["metric_row_cache"]["budget_bytes"] > 0
+
+
+class TestProtocolErrors:
+    def test_bad_pairs_error_does_not_kill_connection(self, fitted):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            with pytest.raises(ServeError, match="pairs"):
+                await client.estimate(np.empty((0, 2), dtype=int))
+            with pytest.raises(ServeError, match="node ids"):
+                await client.estimate([(0, 999)])
+            answers = await client.estimate([(0, 1)])
+            await client.close()
+            return answers, dict(server.counters)
+
+        answers, counters = _run(_with_server(fitted, body))
+        assert answers.shape == (1,)
+        assert counters["errors"] == 2
+
+    def test_unknown_op(self, fitted):
+        async def body(server, host, port):
+            client = await ServeClient.connect(host, port)
+            with pytest.raises(ServeError, match="unknown op"):
+                await client.request("frobnicate")
+            await client.close()
+
+        _run(_with_server(fitted, body))
+
+
+class TestShutdown:
+    def test_shutdown_op_drains_and_exits(self, fitted):
+        async def main():
+            server = StructureServer(fitted)
+            host, port = await server.start()
+            runner = asyncio.create_task(server.serve_until_stopped())
+            client = await ServeClient.connect(host, port)
+            await client.estimate([(0, 1)])
+            await client.shutdown_server()
+            await client.close()
+            await asyncio.wait_for(runner, 10)
+            return True
+
+        assert _run(main())
