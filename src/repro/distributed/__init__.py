@@ -23,6 +23,7 @@ This subpackage turns that discussion into runnable experiments:
 """
 
 from repro.distributed.simulator import (
+    Context,
     Message,
     RoundBasedProtocol,
     RunStats,
@@ -30,9 +31,10 @@ from repro.distributed.simulator import (
 )
 from repro.distributed.netproto import DistributedNetProtocol
 from repro.distributed.ringproto import GossipRingProtocol, ring_coverage
-from repro.distributed.churn import ChurnSimulation
+from repro.distributed.churn import ChurnRoundProtocol, ChurnSimulation
 
 __all__ = [
+    "Context",
     "Message",
     "RoundBasedProtocol",
     "RunStats",
@@ -40,5 +42,6 @@ __all__ = [
     "DistributedNetProtocol",
     "GossipRingProtocol",
     "ring_coverage",
+    "ChurnRoundProtocol",
     "ChurnSimulation",
 ]

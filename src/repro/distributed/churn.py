@@ -24,10 +24,11 @@ from typing import List
 import numpy as np
 
 from repro._types import NodeId
+from repro.distributed.simulator import Context, Message, RoundBasedProtocol
 from repro.meridian.rings import MeridianOverlay
 from repro.meridian.search import closest_node_search
 from repro.metrics.base import MetricSpace
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, ensure_rng, rng_entropy
 
 
 @dataclass
@@ -61,6 +62,8 @@ class ChurnSimulation:
         self.bootstrap_probes = bootstrap_probes
         self.repair_probes = repair_probes
         self.rng = ensure_rng(seed)
+        #: resolved RNG entropy (reproducibility even for seed=None runs)
+        self.resolved_seed = rng_entropy(self.rng)
         self.probes = 0
         # Cached id range: per-event "everyone but u" candidate sets are
         # vectorized deletes from this, never rebuilt Python lists.
@@ -167,3 +170,66 @@ class ChurnSimulation:
 
     def run(self, epochs: int, quality_queries: int = 60) -> List[EpochReport]:
         return [self.run_epoch(e, quality_queries) for e in range(epochs)]
+
+
+class ChurnRoundProtocol(RoundBasedProtocol):
+    """The churn simulation as a round-based protocol: one epoch per round.
+
+    Puts the third §6 experiment on the same simulator surface as the
+    gossip and r-net protocols, so the event-driven adapter
+    (:class:`repro.netsim.RoundAdapter`) can drive it too.  The overlay
+    and :class:`ChurnSimulation` are built in :meth:`initialize` from the
+    context's metric and RNG — the epoch trace draws from the shared
+    protocol stream, so equal seeds give identical reports on the
+    synchronous network and on a zero-latency event network.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 4,
+        churn_rate: float = 0.1,
+        bootstrap_probes: int = 8,
+        repair_probes: int = 0,
+        quality_queries: int = 60,
+        nodes_per_ring: int = 8,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        self.epochs = epochs
+        self.churn_rate = churn_rate
+        self.bootstrap_probes = bootstrap_probes
+        self.repair_probes = repair_probes
+        self.quality_queries = quality_queries
+        self.nodes_per_ring = nodes_per_ring
+        self.reports: List[EpochReport] = []
+        self.sim: "ChurnSimulation | None" = None
+        self._epoch = 0
+
+    def initialize(self, ctx: Context) -> None:
+        overlay = MeridianOverlay(
+            ctx._metric, nodes_per_ring=self.nodes_per_ring, seed=ctx.rng
+        )
+        self.sim = ChurnSimulation(
+            ctx._metric,
+            overlay,
+            churn_rate=self.churn_rate,
+            bootstrap_probes=self.bootstrap_probes,
+            repair_probes=self.repair_probes,
+            seed=ctx.rng,
+        )
+        self.reports = []
+        self._epoch = 0
+
+    def on_round(self, node: NodeId, inbox: List[Message], ctx: Context) -> None:
+        # Epoch surgery is overlay-global; node 0 performs it for the
+        # round and mirrors the simulation's probe count into the
+        # context, so RunStats.probes reports the true probing cost.
+        if node != 0 or self._epoch >= self.epochs:
+            return
+        report = self.sim.run_epoch(self._epoch, self.quality_queries)
+        self.reports.append(report)
+        self._epoch += 1
+        ctx.probes = self.sim.probes
+
+    def is_done(self, ctx: Context) -> bool:
+        return self._epoch >= self.epochs

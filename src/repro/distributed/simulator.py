@@ -24,7 +24,7 @@ from typing import Any, Dict, List
 
 from repro._types import NodeId
 from repro.metrics.base import MetricSpace
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, ensure_rng, rng_entropy
 
 
 @dataclass(frozen=True)
@@ -39,12 +39,31 @@ class Message:
 
 @dataclass
 class RunStats:
-    """Cost summary of one protocol run."""
+    """Cost summary of one protocol run.
+
+    Message accounting is explicit: ``messages`` counts sends,
+    ``delivered`` the messages actually consumed by a node's step, and
+    the two loss buckets say where the rest went — ``dropped`` (the
+    network discarded them: link loss, partition, crashed recipient;
+    always 0 on the perfect synchronous network) and ``undelivered``
+    (still in flight when the run ended, e.g. sent in the final round).
+    ``messages == delivered + dropped + undelivered`` holds for every
+    run.  ``seed`` is the resolved RNG entropy (recorded even for
+    unseeded runs) and ``config`` carries the scenario description on
+    event-simulator runs — together they make any run reproducible from
+    its persisted stats.
+    """
 
     rounds: int
     messages: int
     probes: int
     converged: bool
+    delivered: int = 0
+    dropped: int = 0
+    undelivered: int = 0
+    wall_clock: float = 0.0
+    seed: Any = None
+    config: Dict[str, Any] = field(default_factory=dict)
 
 
 class Context:
@@ -112,16 +131,21 @@ class SynchronousNetwork:
     ) -> None:
         self.metric = metric
         self.protocol = protocol
-        self.ctx = Context(metric, ensure_rng(seed))
+        rng = ensure_rng(seed)
+        #: resolved RNG entropy, recorded in every RunStats
+        self.resolved_seed = rng_entropy(rng)
+        self.ctx = Context(metric, rng)
 
     def run(self, max_rounds: int = 1000) -> RunStats:
         """Execute until the protocol reports done or the budget ends."""
         protocol, ctx = self.protocol, self.ctx
         protocol.initialize(ctx)
         rounds = 0
+        delivered = 0
         converged = protocol.is_done(ctx)
         while not converged and rounds < max_rounds:
             inboxes = ctx._drain_outbox()
+            delivered += sum(len(box) for box in inboxes.values())
             for node in range(ctx.n):
                 protocol.on_round(node, inboxes.get(node, []), ctx)
             protocol.on_round_end(ctx)
@@ -132,4 +156,9 @@ class SynchronousNetwork:
             messages=ctx.messages_sent,
             probes=ctx.probes,
             converged=converged,
+            delivered=delivered,
+            dropped=0,
+            undelivered=len(ctx._outbox),
+            wall_clock=float(rounds),
+            seed=self.resolved_seed,
         )

@@ -243,6 +243,36 @@ def _gossip_gap(fitted) -> Dict[str, Any]:
     return out
 
 
+def _netsim(fitted, scenario_name: str) -> Dict[str, Any]:
+    """The §6 battery under one named degradation scenario.
+
+    Keys are prefixed with the scenario name; the scenario's expanded
+    config and the resolved protocol seed ride along, so a persisted
+    ResultSet fully determines the run.
+    """
+    from repro.netsim import SCENARIOS, measure_scenario
+
+    guarantee = fitted.guarantee()
+    out = measure_scenario(
+        fitted.workload.metric,
+        SCENARIOS.get(scenario_name).obj,
+        seed=11,
+        stretch=guarantee.get("stretch"),
+        delta=guarantee.get("delta"),
+    )
+    prefix = scenario_name.replace("-", "_")
+    return {f"{prefix}_{key}": value for key, value in out.items()}
+
+
+for _scenario_name in ("ideal", "lossy", "partition", "byzantine", "crash-churn"):
+    @register_probe(
+        f"netsim-{_scenario_name}",
+        summary=f"event-simulator §6 battery under the {_scenario_name} scenario",
+    )
+    def _netsim_probe(fitted, _scenario: str = _scenario_name) -> Dict[str, Any]:
+        return _netsim(fitted, _scenario)
+
+
 @register_probe("serve-roundtrip",
                 summary="container save→load round-trip: parity + timings")
 def _serve_roundtrip(fitted) -> Dict[str, Any]:

@@ -256,6 +256,54 @@ def _distributed() -> ExperimentSpec:
     )
 
 
+@SUITES.register("netsim", summary="§6 under degradation: event-simulator "
+                                   "scenario sweep with Byzantine audits")
+def _netsim() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "netsim",
+        description=(
+            "The §6 protocols re-run on the event-driven simulator "
+            "(repro.netsim) under five network scenarios — ideal (the "
+            "bit-for-bit parity baseline), lossy links, a transient "
+            "partition, a mixed Byzantine population and crash/restart "
+            "churn.  Each scenario probe reports gossip convergence "
+            "wall-clock, delivery rate, ring coverage, r-net validity, "
+            "suffix-walk audit detection/false-positive rates and "
+            "ring-table estimate quality scored against the fitted "
+            "scheme's certified (stretch, δ) guarantee."
+        ),
+        workloads=[Workload.make("hypercube", n=48, dim=2, seed=140)],
+        schemes=[SchemeSpec.make("triangulation", delta=0.25)],
+        plans=[PlanConfig(kind="uniform", pairs=80, seed=0)],
+        probes=[
+            "netsim-ideal",
+            "netsim-lossy",
+            "netsim-partition",
+            "netsim-byzantine",
+            "netsim-crash-churn",
+        ],
+    )
+
+
+@SUITES.register("netsim-smoke", summary="fast netsim gate: ideal-scenario "
+                                         "health + Byzantine detection")
+def _netsim_smoke() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "netsim-smoke",
+        description=(
+            "The per-PR netsim gate: one small hypercube instance under "
+            "the ideal and byzantine scenarios — enough to exercise the "
+            "event engine, the round adapter, fault injection and the "
+            "ring audit on every push; the full five-scenario sweep runs "
+            "nightly as `netsim`."
+        ),
+        workloads=[Workload.make("hypercube", n=32, dim=2, seed=140)],
+        schemes=[SchemeSpec.make("triangulation", delta=0.25)],
+        plans=[PlanConfig(kind="uniform", pairs=60, seed=0)],
+        probes=["netsim-ideal", "netsim-byzantine"],
+    )
+
+
 # ----------------------------------------------------------------------
 # Large-scale suites (n = 10⁴): the schemes whose evaluation is fully
 # vectorized and whose structures stay o(n²).  Graph workloads select the

@@ -1,0 +1,217 @@
+"""Probabilistic spot-check auditing of claimed ring tables.
+
+The trust question §6 leaves open: in a deployed overlay a node's ring
+table is *self-reported*.  A Byzantine participant can inflate the
+distances measured against it (filing itself into far annuli everywhere)
+or hand out fabricated membership lists during gossip.  Neither is
+directly observable — but both are *statistically* checkable, because a
+ring is a falsifiable claim: "these ids lie in annulus j around me".
+
+:class:`RingAuditProtocol` runs suffix-walk spot checks over the event
+network:
+
+* each verifier fires a few randomized audits: pick a prover, a random
+  scale ``j`` and a random start id, and ask for the suffix walk of the
+  prover's ring-``j`` table — the ``length`` member ids at or after
+  ``start`` in sorted id order (wrapping).  Randomizing the suffix means
+  the prover cannot precompute which slice of a fabricated table will be
+  inspected;
+* the prover answers with a forward scan of its sorted ring — an honest
+  answer is a cheap sorted-array scan, and the reply is a plain id list,
+  so membership liars corrupt it in transit exactly like their gossip;
+* the verifier re-measures each claimed member **against the prover**
+  (asker = member, target = prover — the direction a distance liar must
+  answer) and checks the measurement lands in annulus ``j``.  Per-pair
+  deterministic lies are self-consistent to one asker but diverge across
+  askers, which is exactly what the pooled per-prover overlap statistic
+  catches.
+
+A prover whose pooled overlap falls below ``overlap_threshold`` (with at
+least ``min_checks`` samples) is flagged.  :meth:`report` scores flags
+against the ground-truth Byzantine set: detection rate, false-positive
+rate, mean honest/byzantine overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+
+from repro.distributed.simulator import Message
+
+from repro.netsim.network import EventNetwork
+from repro.netsim.protocol import EventDriver, EventProtocol
+
+__all__ = ["RingAuditProtocol", "run_audit", "suffix_walk"]
+
+
+def suffix_walk(members: List[int], start: int, length: int) -> List[int]:
+    """The ``length`` ids at or after ``start`` in sorted order, wrapping.
+
+    ``members`` must be sorted.  This is the prover's whole workload: one
+    bisect plus a forward scan — honest answers are cheap, which is what
+    makes frequent spot checks affordable.
+    """
+    if not members or length <= 0:
+        return []
+    if len(members) <= length:
+        return list(members)  # the whole table, nothing to wrap into twice
+    idx = bisect_left(members, start)
+    walk = members[idx : idx + length]
+    if len(walk) < length:
+        walk += members[: length - len(walk)]
+    return walk[:length]
+
+
+class RingAuditProtocol(EventProtocol):
+    """Cross-check claimed ring tables via randomized suffix queries."""
+
+    def __init__(
+        self,
+        rings: Mapping[int, Mapping[int, Mapping[int, float]]],
+        base: float,
+        levels: Optional[int] = None,
+        audits_per_node: int = 6,
+        walk_length: int = 6,
+        window: float = 8.0,
+        overlap_threshold: float = 0.5,
+        min_checks: int = 4,
+    ) -> None:
+        if base <= 0:
+            raise ValueError("base must be positive")
+        self.rings = rings
+        self.base = float(base)
+        if levels is None:
+            levels = 1 + max(
+                (max(table) for table in rings.values() if table), default=0
+            )
+        self.levels = max(1, levels)
+        self.audits_per_node = audits_per_node
+        self.walk_length = walk_length
+        self.window = float(window)
+        self.overlap_threshold = overlap_threshold
+        self.min_checks = min_checks
+        self.audits_issued = 0
+        self.audits_answered = 0
+        self.checks: Dict[int, int] = defaultdict(int)
+        self.hits: Dict[int, int] = defaultdict(int)
+
+    # -- annulus membership (mirrors GossipRingProtocol._ring_index) ----
+
+    def _band(self, d: float) -> int:
+        if d <= self.base:
+            return 0
+        return int(math.ceil(math.log2(d / self.base)))
+
+    # -- event handlers -------------------------------------------------
+
+    def on_start(self, net: EventNetwork) -> None:
+        for u in range(net.n):
+            for k in range(self.audits_per_node):
+                delay = float(net.rng.uniform(0.0, self.window))
+                net.set_timer(u, delay, k)
+
+    def on_timer(self, node: int, tag: Any, net: EventNetwork) -> None:
+        prover = int(net.rng.integers(net.n - 1))
+        if prover >= node:
+            prover += 1  # uniform over everyone but the verifier
+        # Query a scale the verifier's own table populates: the verifier
+        # cannot see the prover's table, but annulus occupancy is a
+        # property of the metric, so its own non-empty scales are the
+        # ones likely to yield a non-empty (checkable) walk.
+        own = sorted(
+            j for j, table in self.rings.get(node, {}).items() if table
+        )
+        if own:
+            scale = int(own[int(net.rng.integers(len(own)))])
+        else:
+            scale = int(net.rng.integers(self.levels))
+        start = int(net.rng.integers(net.n))
+        self.audits_issued += 1
+        net.send(
+            node,
+            prover,
+            "audit_query",
+            scale=scale,
+            start=start,
+            length=self.walk_length,
+            reply_to=node,
+        )
+
+    def on_message(self, node: int, message: Message, net: EventNetwork) -> None:
+        payload = message.payload
+        if message.kind == "audit_query":
+            members = sorted(self.rings.get(node, {}).get(payload["scale"], {}))
+            net.send(
+                node,
+                payload["reply_to"],
+                "audit_reply",
+                scale=payload["scale"],
+                nodes=suffix_walk(members, payload["start"], payload["length"]),
+            )
+        elif message.kind == "audit_reply":
+            self.audits_answered += 1
+            prover, scale = message.sender, payload["scale"]
+            for w in payload["nodes"]:
+                if w == prover or not 0 <= w < net.n:
+                    continue
+                d = net.probe(w, prover)
+                self.checks[prover] += 1
+                if self._band(d) == scale:
+                    self.hits[prover] += 1
+
+    # -- verdicts -------------------------------------------------------
+
+    def overlap(self, prover: int) -> float:
+        checks = self.checks.get(prover, 0)
+        return self.hits.get(prover, 0) / checks if checks else float("nan")
+
+    def flagged(self) -> FrozenSet[int]:
+        return frozenset(
+            p
+            for p, checks in self.checks.items()
+            if checks >= self.min_checks
+            and self.hits.get(p, 0) / checks < self.overlap_threshold
+        )
+
+    def report(self, byzantine: FrozenSet[int] = frozenset()) -> Dict[str, Any]:
+        """Score the audit against the ground-truth Byzantine set."""
+        flagged = self.flagged()
+        audited = {p for p, c in self.checks.items() if c >= self.min_checks}
+        honest = audited - byzantine
+        byz_audited = audited & byzantine
+        overlaps = {p: self.overlap(p) for p in audited}
+
+        def _mean(group: FrozenSet[int]) -> float:
+            vals = [overlaps[p] for p in group]
+            return sum(vals) / len(vals) if vals else float("nan")
+
+        return {
+            "audits_issued": self.audits_issued,
+            "audits_answered": self.audits_answered,
+            "provers_audited": len(audited),
+            "checks_total": sum(self.checks.values()),
+            "flagged": sorted(flagged),
+            "detection_rate": (
+                len(flagged & byz_audited) / len(byz_audited) if byz_audited else 1.0
+            ),
+            "false_positive_rate": (
+                len(flagged & honest) / len(honest) if honest else 0.0
+            ),
+            "mean_overlap_honest": _mean(frozenset(honest)),
+            "mean_overlap_byzantine": _mean(frozenset(byz_audited)),
+        }
+
+
+def run_audit(
+    net: EventNetwork,
+    rings: Mapping[int, Mapping[int, Mapping[int, float]]],
+    base: float,
+    **kwargs: Any,
+) -> RingAuditProtocol:
+    """Run a full audit round on ``net`` and return the scored protocol."""
+    protocol = RingAuditProtocol(rings, base, **kwargs)
+    EventDriver(net, protocol).run()
+    return protocol

@@ -27,6 +27,23 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def rng_entropy(rng: np.random.Generator):
+    """The resolved seed material of a generator, JSON-serializable.
+
+    ``ensure_rng(None)`` draws fresh OS entropy; recording the resolved
+    entropy in run provenance makes even "unseeded" runs reproducible.
+    Returns the seed-sequence entropy (an int), a list ``[entropy,
+    *spawn_key]`` for spawned children, or ``None`` when the bit
+    generator has no seed sequence (foreign generators).
+    """
+    seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seq is None or seq.entropy is None:
+        return None
+    if seq.spawn_key:
+        return [int(seq.entropy), *map(int, seq.spawn_key)]
+    return int(seq.entropy)
+
+
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 

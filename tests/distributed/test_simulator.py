@@ -60,3 +60,43 @@ class TestSimulator:
         net = SynchronousNetwork(metric, PingPong(1))
         with pytest.raises(ValueError):
             net.ctx.send(0, 9, "ping")
+
+
+class TestAccounting:
+    def test_messages_split_into_delivered_and_undelivered(self):
+        # volleys=4 converges exactly when the 4th ping is consumed, so
+        # every sent message was delivered and none remain in flight.
+        net = SynchronousNetwork(uniform_line(2), PingPong(volleys=4))
+        stats = net.run(max_rounds=10)
+        assert stats.delivered == 4
+        assert stats.dropped == 0
+        assert stats.undelivered == 0
+        assert stats.messages == stats.delivered + stats.dropped + stats.undelivered
+
+    def test_final_round_sends_counted_undelivered(self):
+        # Cutting the budget mid-conversation strands the last ping in
+        # the outbox: it was sent but no round ever consumed it.
+        net = SynchronousNetwork(uniform_line(2), PingPong(volleys=100))
+        stats = net.run(max_rounds=5)
+        assert not stats.converged
+        assert stats.undelivered == 1
+        assert stats.messages == stats.delivered + stats.undelivered
+
+    def test_wall_clock_equals_rounds_on_sync_network(self):
+        net = SynchronousNetwork(uniform_line(2), PingPong(volleys=4))
+        stats = net.run(max_rounds=10)
+        assert stats.wall_clock == float(stats.rounds)
+
+    def test_resolved_seed_recorded(self):
+        net = SynchronousNetwork(uniform_line(2), PingPong(volleys=1), seed=37)
+        assert net.run(max_rounds=5).seed == 37
+
+    def test_unseeded_run_still_records_entropy(self):
+        net = SynchronousNetwork(uniform_line(2), PingPong(volleys=1))
+        stats = net.run(max_rounds=5)
+        assert stats.seed is not None
+        # Replaying with the recorded entropy reproduces the run.
+        again = SynchronousNetwork(
+            uniform_line(2), PingPong(volleys=1), seed=stats.seed
+        )
+        assert again.run(max_rounds=5).messages == stats.messages

@@ -1,0 +1,89 @@
+"""Deterministic event-loop semantics."""
+
+import pytest
+
+from repro.netsim import Clock, EventLoop
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        trace = []
+        loop.schedule(3.0, lambda: trace.append("c"))
+        loop.schedule(1.0, lambda: trace.append("a"))
+        loop.schedule(2.0, lambda: trace.append("b"))
+        executed, exhausted = loop.run()
+        assert trace == ["a", "b", "c"]
+        assert (executed, exhausted) == (3, True)
+        assert loop.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        loop = EventLoop()
+        trace = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: trace.append(i))
+        loop.run()
+        assert trace == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling_from_actions(self):
+        loop = EventLoop()
+        trace = []
+
+        def outer():
+            trace.append("outer")
+            loop.schedule(0.0, lambda: trace.append("inner"))
+
+        loop.schedule(1.0, outer)
+        loop.schedule(2.0, lambda: trace.append("later"))
+        loop.run()
+        # The zero-delay child fires at t=1 before the t=2 event.
+        assert trace == ["outer", "inner", "later"]
+
+    def test_cannot_schedule_into_the_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            loop.run()
+
+    def test_cancelled_events_do_not_fire(self):
+        loop = EventLoop()
+        trace = []
+        event = loop.schedule(1.0, lambda: trace.append("dead"))
+        loop.schedule(2.0, lambda: trace.append("alive"))
+        loop.cancel(event)
+        assert loop.pending == 1
+        loop.run()
+        assert trace == ["alive"]
+
+
+class TestRunLimits:
+    def test_until_idles_clock_forward(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda: None)
+        executed, exhausted = loop.run(until=4.0)
+        assert (executed, exhausted) == (0, False)
+        assert loop.now == 4.0  # idled to the deadline, event still queued
+        assert loop.pending == 1
+
+    def test_max_events(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(float(i), lambda: None)
+        executed, exhausted = loop.run(max_events=4)
+        assert (executed, exhausted) == (4, False)
+
+    def test_stop_predicate_checked_between_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i), lambda i=i: fired.append(i))
+        loop.run(stop=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_shared_clock(self):
+        clock = Clock()
+        loop = EventLoop(clock)
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        assert clock.now == 5.0
+        assert loop.processed == 1

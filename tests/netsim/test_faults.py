@@ -1,0 +1,101 @@
+"""Fault-plan semantics: crash windows, partitions, Byzantine lies."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Byzantine, Crash, FaultPlan, Partition
+from repro.netsim.faults import sample_nodes
+
+
+class TestCrash:
+    def test_window_half_open(self):
+        crash = Crash(3, down_at=2.0, up_at=5.0)
+        assert not crash.down(1.9)
+        assert crash.down(2.0)
+        assert crash.down(4.99)
+        assert not crash.down(5.0)
+
+    def test_default_is_forever(self):
+        assert Crash(0, down_at=1.0).down(1e12)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            Crash(0, down_at=2.0, up_at=2.0)
+
+
+class TestPartition:
+    def test_severs_only_across_groups_during_window(self):
+        part = Partition(group=(0, 1), start=2.0, end=6.0)
+        assert part.severs(0, 5, 3.0)
+        assert part.severs(5, 0, 3.0)
+        assert not part.severs(0, 1, 3.0)  # same side
+        assert not part.severs(4, 5, 3.0)  # same side
+        assert not part.severs(0, 5, 1.0)  # before
+        assert not part.severs(0, 5, 6.0)  # after (half-open)
+
+
+class TestByzantine:
+    def test_mode_split(self):
+        byz = Byzantine((1, 2, 3, 4, 5), mode="mixed")
+        assert byz.distance_liars == (1, 2, 3)
+        assert byz.membership_liars == (4, 5)
+        assert Byzantine((1, 2), mode="distance").membership_liars == ()
+        assert Byzantine((1, 2), mode="membership").distance_liars == ()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="byzantine mode"):
+            Byzantine((1,), mode="sleepy")
+
+    def test_inflate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Byzantine((1,), inflate=(0.5, 2.0))
+
+
+class TestFaultPlan:
+    def test_honest_probe_passes_through_exactly(self):
+        plan = FaultPlan()
+        assert plan.perturb_probe(0, 1, 3.25) == 3.25
+
+    def test_distance_lie_is_per_pair_deterministic(self):
+        plan = FaultPlan(byzantine=Byzantine((5,), mode="distance"), seed=9)
+        first = plan.perturb_probe(0, 5, 1.0)
+        assert first == plan.perturb_probe(0, 5, 1.0)  # order-independent
+        assert 2.0 <= first <= 4.0  # default inflate window
+        # Different askers get different lies — what audits exploit.
+        assert first != plan.perturb_probe(1, 5, 1.0)
+
+    def test_lies_only_about_the_liar(self):
+        plan = FaultPlan(byzantine=Byzantine((5,), mode="distance"), seed=9)
+        assert plan.perturb_probe(5, 0, 1.0) == 1.0  # liar asking honest
+
+    def test_membership_tamper_replaces_id_lists(self):
+        plan = FaultPlan(byzantine=Byzantine((2,), mode="membership"), seed=3)
+        payload = {"nodes": [1, 2, 3], "reply_to": 7, "note": "x"}
+        out = plan.tamper_payload(2, payload, n=10)
+        assert len(out["nodes"]) == 3
+        assert all(0 <= x < 10 for x in out["nodes"])
+        assert out["reply_to"] == 7 and out["note"] == "x"
+        # Honest senders pass through untouched (same object contents).
+        assert plan.tamper_payload(1, payload, n=10) == payload
+
+    def test_is_up_and_severed_compose(self):
+        plan = FaultPlan(
+            crashes=(Crash(1, 2.0, 4.0),),
+            partitions=(Partition((0,), 1.0, 3.0),),
+        )
+        assert plan.is_up(1, 1.0) and not plan.is_up(1, 2.5)
+        assert plan.severed(0, 2, 2.0) and not plan.severed(0, 2, 3.0)
+
+    def test_byzantine_nodes_union(self):
+        plan = FaultPlan(byzantine=Byzantine((1, 2, 3), mode="mixed"))
+        assert plan.byzantine_nodes() == frozenset({1, 2, 3})
+
+
+class TestSampleNodes:
+    def test_distinct_sorted_and_bounded(self):
+        rng = np.random.default_rng(0)
+        picked = sample_nodes(rng, range(10), 4)
+        assert len(set(picked)) == 4
+        assert list(picked) == sorted(picked)
+        assert sample_nodes(rng, range(3), 99) == (0, 1, 2)
+        assert sample_nodes(rng, range(3), 0) == ()

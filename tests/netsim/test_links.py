@@ -1,0 +1,78 @@
+"""Link-model behaviour: latency families, loss, jitter, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    ConstantLatency,
+    ExponentialLatency,
+    LinkModel,
+    UniformLatency,
+    make_latency,
+)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        assert ConstantLatency(0.7).sample(rng, 0, 1) == 0.7
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        lat = UniformLatency(0.5, 1.5)
+        draws = [lat.sample(rng, 0, 1) for _ in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in draws)
+
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        lat = ExponentialLatency(2.0)
+        draws = [lat.sample(rng, 0, 1) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_make_latency_by_name(self):
+        assert isinstance(make_latency("constant", value=1.0), ConstantLatency)
+        with pytest.raises(KeyError, match="unknown latency kind"):
+            make_latency("laplace")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0)
+
+
+class TestLinkModel:
+    def test_default_is_ideal_and_draws_nothing(self):
+        link = LinkModel(seed=0)
+        before = link.rng.bit_generator.state
+        assert link.transit(0, 1) == 0.0
+        assert link.rng.bit_generator.state == before
+
+    def test_drop_rate_statistics(self):
+        link = LinkModel(drop_rate=0.3, seed=1)
+        dropped = sum(link.transit(0, 1) is None for _ in range(2000))
+        assert dropped / 2000 == pytest.approx(0.3, abs=0.05)
+
+    def test_seeded_transit_is_deterministic(self):
+        draws = [
+            [LinkModel(UniformLatency(0, 1), jitter=0.5, seed=7).transit(0, 1)
+             for _ in range(10)]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_distance_factor_adds_propagation(self):
+        link = LinkModel(distance_factor=0.5, seed=0)
+        assert link.transit(0, 1, distance=4.0) == 2.0
+
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LinkModel(drop_rate=1.0)
+
+    def test_to_dict_round_trips_config(self):
+        link = LinkModel(UniformLatency(0, 2), drop_rate=0.1, jitter=0.2)
+        d = link.to_dict()
+        assert d["latency"] == {"kind": "uniform", "lo": 0.0, "hi": 2.0}
+        assert d["drop_rate"] == 0.1 and d["jitter"] == 0.2

@@ -1,0 +1,116 @@
+"""Event-network transport: delivery, fault filtering, total accounting."""
+
+import pytest
+
+from repro.metrics import uniform_line
+from repro.netsim import (
+    Byzantine,
+    Crash,
+    EventNetwork,
+    FaultPlan,
+    LinkModel,
+    Partition,
+)
+
+
+def drain(net):
+    net.loop.run()
+
+
+class TestTransport:
+    def test_ideal_send_arrives_instantly_in_order(self):
+        net = EventNetwork(uniform_line(3), seed=0)
+        net.send(0, 2, "a", k=1)
+        net.send(1, 2, "b", k=2)
+        drain(net)
+        inbox = net.drain_pending(2)
+        assert [m.kind for m in inbox] == ["a", "b"]
+        assert net.consumed == 2 and net.messages_sent == 2
+
+    def test_out_of_range_recipient_rejected(self):
+        net = EventNetwork(uniform_line(2), seed=0)
+        with pytest.raises(ValueError, match="out of range"):
+            net.send(0, 2, "x")
+
+    def test_arrival_handler_dispatches_immediately(self):
+        net = EventNetwork(uniform_line(2), seed=0)
+        got = []
+        net.set_arrival_handler(lambda m: got.append(m.kind))
+        net.send(0, 1, "hello")
+        drain(net)
+        assert got == ["hello"]
+        assert net.undelivered() == 0
+
+    def test_link_drop_counted(self):
+        net = EventNetwork(
+            uniform_line(2), link=LinkModel(drop_rate=0.999999, seed=1), seed=0
+        )
+        for _ in range(20):
+            net.send(0, 1, "x")
+        drain(net)
+        assert net.dropped_link == 20
+        assert net.dropped == 20
+
+    def test_partition_drop_at_send(self):
+        faults = FaultPlan(partitions=(Partition((0,), 0.0, 10.0),))
+        net = EventNetwork(uniform_line(3), faults=faults, seed=0)
+        net.send(0, 1, "cut")
+        net.send(1, 2, "ok")
+        drain(net)
+        assert net.dropped_partition == 1
+        assert len(net.drain_pending(2)) == 1
+
+    def test_partition_severs_in_flight_message(self):
+        # Message leaves before the partition rises, arrives inside it.
+        from repro.netsim import ConstantLatency
+
+        faults = FaultPlan(partitions=(Partition((0,), 1.0, 5.0),))
+        net = EventNetwork(
+            uniform_line(2),
+            link=LinkModel(ConstantLatency(2.0)),
+            faults=faults,
+            seed=0,
+        )
+        net.send(0, 1, "doomed")  # sent at t=0, arrives t=2 inside [1, 5)
+        drain(net)
+        assert net.dropped_partition == 1
+
+    def test_crashed_recipient_loses_message(self):
+        faults = FaultPlan(crashes=(Crash(1, 0.0),))
+        net = EventNetwork(uniform_line(2), faults=faults, seed=0)
+        net.send(0, 1, "lost")
+        drain(net)
+        assert net.dropped_crash == 1
+        assert net.up_nodes() == [0]
+
+    def test_byzantine_probe_perturbs_measure(self):
+        faults = FaultPlan(byzantine=Byzantine((1,), mode="distance"), seed=4)
+        net = EventNetwork(uniform_line(3), faults=faults, seed=0)
+        truth = uniform_line(3).distance(0, 1)
+        assert net.measure(0, 1) >= 2.0 * truth  # inflate lower bound
+        assert net.measure(0, 2) == uniform_line(3).distance(0, 2)
+        net.probe(0, 1)
+        assert net.probes == 1
+
+    def test_total_accounting_invariant(self):
+        faults = FaultPlan(crashes=(Crash(1, 0.0),))
+        net = EventNetwork(
+            uniform_line(3), link=LinkModel(drop_rate=0.5, seed=2),
+            faults=faults, seed=0,
+        )
+        for i in range(60):
+            net.send(0, 1 + i % 2, "x")
+        drain(net)
+        consumed = len(net.drain_pending(2))
+        assert consumed == net.consumed
+        assert net.messages_sent == net.consumed + net.dropped + net.undelivered()
+
+    def test_timer_skipped_while_down(self):
+        faults = FaultPlan(crashes=(Crash(0, 1.0, 3.0),))
+        net = EventNetwork(uniform_line(2), faults=faults, seed=0)
+        fired = []
+        net.set_timer_handler(lambda node, tag: fired.append((node, tag)))
+        net.set_timer(0, 2.0, "down")   # fires at t=2 while crashed
+        net.set_timer(0, 4.0, "up")     # fires after restart
+        drain(net)
+        assert fired == [(0, "up")]

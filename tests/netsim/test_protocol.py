@@ -1,0 +1,110 @@
+"""Event-native driver and round-adapter semantics beyond parity."""
+
+from typing import List
+
+from repro.distributed import Message, RoundBasedProtocol
+from repro.metrics import uniform_line
+from repro.netsim import (
+    ConstantLatency,
+    Crash,
+    EventDriver,
+    EventNetwork,
+    EventProtocol,
+    FaultPlan,
+    LinkModel,
+    RoundAdapter,
+)
+
+
+class Echo(EventProtocol):
+    """Node 0 pings every node once at start; each replies once."""
+
+    def on_start(self, net):
+        for v in range(1, net.n):
+            net.send(0, v, "ping")
+
+    def on_message(self, node, message, net):
+        if message.kind == "ping":
+            net.send(node, message.sender, "pong")
+        else:
+            net.state[node].setdefault("pongs", 0)
+            net.state[node]["pongs"] += 1
+
+    def is_done(self, net):
+        return net.state[0].get("pongs", 0) >= net.n - 1
+
+
+class PingPong(RoundBasedProtocol):
+    def __init__(self, volleys: int) -> None:
+        self.volleys = volleys
+
+    def initialize(self, ctx) -> None:
+        ctx.state[0]["count"] = 0
+        ctx.state[1]["count"] = 0
+        ctx.send(0, 1, "ping", hop=0)
+
+    def on_round(self, node, inbox: List[Message], ctx) -> None:
+        for message in inbox:
+            if message.kind == "ping":
+                ctx.state[node]["count"] += 1
+                if message.payload["hop"] + 1 < self.volleys:
+                    ctx.send(node, message.sender, "ping",
+                             hop=message.payload["hop"] + 1)
+
+    def is_done(self, ctx) -> bool:
+        return ctx.state[0]["count"] + ctx.state[1]["count"] >= self.volleys
+
+
+class TestEventDriver:
+    def test_echo_converges_with_full_accounting(self):
+        net = EventNetwork(uniform_line(5), seed=0)
+        stats = EventDriver(net, Echo()).run()
+        assert stats.converged
+        assert stats.messages == 8  # 4 pings + 4 pongs
+        assert stats.delivered == 8
+        assert stats.dropped == 0 and stats.undelivered == 0
+        assert stats.config["link"]["drop_rate"] == 0.0
+
+    def test_latency_sets_wall_clock(self):
+        net = EventNetwork(
+            uniform_line(5), link=LinkModel(ConstantLatency(1.5)), seed=0
+        )
+        stats = EventDriver(net, Echo()).run()
+        assert stats.converged
+        assert stats.wall_clock == 3.0  # ping + pong, 1.5 each
+
+
+class TestRoundAdapter:
+    def test_volley_per_round_like_sync(self):
+        net = EventNetwork(uniform_line(2), seed=0)
+        stats = RoundAdapter(net, PingPong(volleys=4), max_rounds=10).run()
+        assert stats.converged
+        assert stats.rounds == 4
+        assert stats.messages == 4
+        assert stats.wall_clock == 4.0
+
+    def test_round_budget_respected(self):
+        net = EventNetwork(uniform_line(2), seed=0)
+        stats = RoundAdapter(net, PingPong(volleys=100), max_rounds=5).run()
+        assert not stats.converged
+        assert stats.rounds == 5
+
+    def test_crashed_node_skips_steps_and_loses_mail(self):
+        # Node 1 is down for rounds 1-2; the volley stalls until restart.
+        faults = FaultPlan(crashes=(Crash(1, 0.5, 2.5),))
+        net = EventNetwork(uniform_line(2), faults=faults, seed=0)
+        stats = RoundAdapter(net, PingPong(volleys=2), max_rounds=10).run()
+        # The initial ping arrived at t=0 (before the crash) but node 1
+        # skips its step at t=1 and t=2 and only replies at t=3.
+        assert stats.converged
+        assert stats.rounds > 2
+        assert stats.messages == stats.delivered + stats.dropped + stats.undelivered
+
+    def test_run_stats_config_records_environment(self):
+        net = EventNetwork(
+            uniform_line(2), link=LinkModel(drop_rate=0.25, seed=3), seed=0
+        )
+        stats = RoundAdapter(net, PingPong(volleys=3), max_rounds=30).run()
+        assert stats.config["link"]["drop_rate"] == 0.25
+        assert "crashes" in stats.config["faults"]
+        assert stats.seed == 0

@@ -1,0 +1,91 @@
+"""Scenario expansion and the measurement battery."""
+
+import pytest
+
+from repro.api.facade import build_workload
+from repro.netsim import SCENARIOS, Scenario, measure_scenario
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return build_workload("hypercube", n=32, seed=7).metric
+
+
+class TestRegistry:
+    def test_required_scenarios_registered(self):
+        for name in ("ideal", "lossy", "partition", "byzantine", "crash-churn"):
+            assert name in SCENARIOS
+
+    def test_ideal_is_the_null_environment(self):
+        sc = SCENARIOS.get("ideal").obj
+        link = sc.link(seed=0)
+        assert link.transit(0, 1) == 0.0
+        plan = sc.faults(16, seed=0)
+        assert plan.crashes == () and plan.partitions == ()
+        assert plan.byzantine is None
+
+
+class TestExpansion:
+    def test_fault_draw_is_seed_deterministic(self):
+        sc = SCENARIOS.get("crash-churn").obj
+        a = sc.faults(32, seed=5).to_dict()
+        b = sc.faults(32, seed=5).to_dict()
+        assert a == b
+        assert a != sc.faults(32, seed=6).to_dict()
+
+    def test_protect_shields_the_round_driver(self):
+        sc = Scenario("all-crash", crash_fraction=1.0)
+        plan = sc.faults(16, seed=0, protect=(15,))
+        assert all(c.node != 15 for c in plan.crashes)
+        byz = Scenario("all-byz", byzantine_fraction=1.0)
+        plan = byz.faults(16, seed=0, protect=(15,))
+        assert 15 not in plan.byzantine.nodes
+
+    def test_restart_after_sets_up_at(self):
+        sc = SCENARIOS.get("crash-churn").obj
+        plan = sc.faults(32, seed=1)
+        assert plan.crashes
+        for crash in plan.crashes:
+            assert crash.up_at == sc.crash_at + sc.restart_after
+
+    def test_network_derives_separate_streams(self, metric):
+        sc = SCENARIOS.get("lossy").obj
+        net = sc.network(metric, seed=11)
+        assert net.resolved_seed == 11
+        # Link RNG is a spawned child, not the protocol generator.
+        assert net.link.rng is not net.rng
+
+    def test_to_dict_is_json_shaped(self):
+        d = SCENARIOS.get("byzantine").obj.to_dict()
+        assert d["name"] == "byzantine"
+        assert d["inflate"] == [2.0, 4.0]
+
+
+class TestMeasureScenario:
+    def test_ideal_battery_healthy(self, metric):
+        out = measure_scenario(
+            metric, SCENARIOS.get("ideal").obj, seed=11,
+            stretch=3.0, delta=0.25,
+        )
+        assert out["gossip_converged"] and out["net_converged"]
+        assert out["gossip_delivery_rate"] > 0.9
+        assert out["gossip_dropped"] == 0
+        assert out["net_valid"]
+        assert out["audit_false_positive_rate"] == 0.0
+        assert out["estimate_meets_guarantee"]
+        assert out["resolved_seed"] == 11
+        assert out["scenario"]["name"] == "ideal"
+
+    def test_byzantine_battery_detects(self, metric):
+        out = measure_scenario(
+            metric, SCENARIOS.get("byzantine").obj, seed=11,
+        )
+        assert out["audit_detection_rate"] == 1.0
+        assert out["audit_mean_overlap_byzantine"] < 0.5
+
+    def test_degraded_scenarios_lose_messages(self, metric):
+        out = measure_scenario(metric, SCENARIOS.get("lossy").obj, seed=11)
+        assert out["gossip_dropped"] > 0
+        assert out["gossip_delivery_rate"] < 1.0
+        # Degraded, not destroyed: coverage still substantial.
+        assert out["gossip_coverage"] > 0.5

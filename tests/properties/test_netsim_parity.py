@@ -1,0 +1,89 @@
+"""Zero-latency event engine ≡ synchronous simulator, bit for bit.
+
+The compatibility contract of :class:`repro.netsim.RoundAdapter`: with
+the default ideal network (zero constant latency, no loss, no faults)
+every existing §6 round-based protocol must reproduce its
+:class:`~repro.distributed.simulator.SynchronousNetwork` run exactly at
+equal seeds — same RunStats counters, same per-node protocol state, same
+derived results.  This is what makes the degraded scenarios meaningful:
+any difference under loss or faults is attributable to the environment,
+never to the engine.
+"""
+
+import pytest
+
+from repro.api.facade import build_workload
+from repro.distributed import (
+    ChurnRoundProtocol,
+    DistributedNetProtocol,
+    GossipRingProtocol,
+    SynchronousNetwork,
+)
+from repro.netsim import EventNetwork, RoundAdapter
+
+SEEDS = (3, 11, 42)
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return build_workload("hypercube", n=40, seed=5).metric
+
+
+def run_both(metric, make_protocol, seed, max_rounds=200):
+    sync_proto = make_protocol()
+    sync_net = SynchronousNetwork(metric, sync_proto, seed=seed)
+    sync_stats = sync_net.run(max_rounds=max_rounds)
+
+    event_proto = make_protocol()
+    event_net = EventNetwork(metric, seed=seed)
+    adapter = RoundAdapter(event_net, event_proto, max_rounds=max_rounds)
+    event_stats = adapter.run()
+    return (sync_proto, sync_net.ctx, sync_stats), (event_proto, adapter.ctx, event_stats)
+
+
+def assert_stats_equal(sync_stats, event_stats):
+    assert event_stats.rounds == sync_stats.rounds
+    assert event_stats.messages == sync_stats.messages
+    assert event_stats.probes == sync_stats.probes
+    assert event_stats.converged == sync_stats.converged
+    assert event_stats.delivered == sync_stats.delivered
+    assert event_stats.dropped == sync_stats.dropped == 0
+    assert event_stats.undelivered == sync_stats.undelivered
+    assert event_stats.wall_clock == sync_stats.wall_clock
+    assert event_stats.seed == sync_stats.seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestGossipParity:
+    def test_bit_for_bit(self, metric, seed):
+        make = lambda: GossipRingProtocol(  # noqa: E731
+            bootstrap=3, exchange=8, ring_capacity=6, rounds=6
+        )
+        (p1, ctx1, s1), (p2, ctx2, s2) = run_both(metric, make, seed)
+        assert_stats_equal(s1, s2)
+        for u in range(metric.n):
+            assert p1.rings_of(ctx1, u) == p2.rings_of(ctx2, u)
+            assert ctx1.state[u]["known"] == ctx2.state[u]["known"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestNetProtocolParity:
+    def test_bit_for_bit(self, metric, seed):
+        r = metric.min_distance() * 2
+        make = lambda: DistributedNetProtocol(r=r)  # noqa: E731
+        (p1, ctx1, s1), (p2, ctx2, s2) = run_both(metric, make, seed)
+        assert_stats_equal(s1, s2)
+        assert p1.net_members(ctx1) == p2.net_members(ctx2)
+        for u in range(metric.n):
+            assert ctx1.state[u]["status"] == ctx2.state[u]["status"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestChurnParity:
+    def test_bit_for_bit(self, metric, seed):
+        make = lambda: ChurnRoundProtocol(epochs=3, quality_queries=40)  # noqa: E731
+        (p1, _, s1), (p2, _, s2) = run_both(metric, make, seed, max_rounds=20)
+        assert_stats_equal(s1, s2)
+        assert p1.reports == p2.reports
+        for a, b in zip(p1.sim.overlay.nodes, p2.sim.overlay.nodes):
+            assert a.rings == b.rings
