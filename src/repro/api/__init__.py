@@ -45,6 +45,7 @@ from repro.api.configs import (
     TriangulationConfig,
 )
 from repro.api.workloads import DEFAULT_N, Workload, WorkloadInstance
+from repro.api.mutation import MutableScheme, UnsupportedUpdate, UpdateReceipt
 from repro.api.schemes import FittedScheme, Scheme
 from repro.api.facade import (
     BuildCache,
@@ -58,6 +59,8 @@ from repro.api.facade import (
     list_workloads,
     load,
     save,
+    supports_update,
+    update,
 )
 
 __all__ = [
@@ -82,6 +85,9 @@ __all__ = [
     "WorkloadInstance",
     "Scheme",
     "FittedScheme",
+    "MutableScheme",
+    "UnsupportedUpdate",
+    "UpdateReceipt",
     "BuildCache",
     "build",
     "build_workload",
@@ -93,4 +99,6 @@ __all__ = [
     "list_workloads",
     "load",
     "save",
+    "supports_update",
+    "update",
 ]

@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.rng import SeedLike
 
+from repro.api.mutation import MutableScheme, UnsupportedUpdate, UpdateReceipt
 from repro.api.registry import SCHEMES, WORKLOADS
 from repro.api.schemes import FittedScheme
 from repro.api.workloads import DEFAULT_N, Workload, WorkloadInstance, realize
@@ -59,6 +60,7 @@ class BuildCache:
         self.structure_dir = None if structure_dir is None else Path(structure_dir)
         self.spills = 0
         self.hydrations = 0
+        self.invalidations = 0
 
     def _spill_path(self, spec: Workload):
         import hashlib
@@ -106,9 +108,18 @@ class BuildCache:
             # Unhashable seed (e.g. a live Generator): build uncached.
             return self._attach(realize(spec), executor)
         if spec in self._instances:
-            self.hits += 1
-            self._instances.move_to_end(spec)
-            return self._attach(self._instances[spec], executor)
+            cached = self._instances[spec]
+            if getattr(cached, "revision", 0):
+                # A mutable scheme applied in-place updates to this
+                # instance; its shared structures no longer match the
+                # pristine spec.  Evict and rebuild instead of serving
+                # a stale (mutated) instance under the original key.
+                del self._instances[spec]
+                self.invalidations += 1
+            else:
+                self.hits += 1
+                self._instances.move_to_end(spec)
+                return self._attach(cached, executor)
         self.misses += 1
         built = self._hydrate(spec) if self._spillable(spec) else None
         if built is None:
@@ -141,6 +152,7 @@ class BuildCache:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "invalidations": self.invalidations,
         }
         if self.structure_dir is not None:
             out["structure_dir"] = str(self.structure_dir)
@@ -277,6 +289,37 @@ def build(
     return scheme_cls.build(instance, config, seed=seed)
 
 
+def supports_update(scheme: Union[str, FittedScheme, type]) -> bool:
+    """Whether a scheme (by registered name, class, or fitted instance)
+    implements the :class:`MutableScheme` churn extension."""
+    if isinstance(scheme, str):
+        return bool(SCHEMES.get(scheme).meta.get("supports_update", False))
+    target = scheme if isinstance(scheme, type) else type(scheme)
+    return bool(getattr(target, "supports_update", False))
+
+
+def update(scheme: FittedScheme, joins=(), leaves=()) -> UpdateReceipt:
+    """Apply one join/leave batch to a fitted mutable scheme.
+
+    >>> tri = api.build("triangulation", "hypercube", n=256)
+    >>> receipt = api.update(tri, leaves=[3, 77])
+    >>> tri.query(5, 9)        # served from the patched structure
+
+    Static schemes raise the typed :class:`UnsupportedUpdate` (never an
+    ``AttributeError``) naming the schemes that do support updates.
+    """
+    if not supports_update(scheme):
+        mutable = sorted(
+            name for name, entry in SCHEMES.items()
+            if entry.meta.get("supports_update")
+        )
+        raise UnsupportedUpdate(
+            f"{type(scheme).__name__} does not support incremental updates; "
+            f"schemes with update support: {', '.join(mutable)}"
+        )
+    return scheme.update(joins=joins, leaves=leaves)
+
+
 def evaluate(
     scheme: FittedScheme,
     plan: Union[str, Any] = "uniform",
@@ -358,5 +401,10 @@ def describe() -> str:
     lines.append("")
     lines.append(f"schemes ({len(SCHEMES)})")
     for name, problem, summary in list_schemes():
-        lines.append(f"  {name:<14s} [{problem}] {summary}")
+        tag = (
+            " [+update]"
+            if SCHEMES.get(name).meta.get("supports_update")
+            else ""
+        )
+        lines.append(f"  {name:<14s} [{problem}]{tag} {summary}")
     return "\n".join(lines)

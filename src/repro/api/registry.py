@@ -54,9 +54,24 @@ def register_workload(
     return WORKLOADS.register(name, summary=summary, kind=kind, defaults=defaults)
 
 
-def register_scheme(name: str, *, summary: str = "", problem: str = "") -> Callable:
-    """Decorator: register a :class:`~repro.api.schemes.Scheme` adapter."""
-    return SCHEMES.register(name, summary=summary, problem=problem)
+def register_scheme(
+    name: str,
+    *,
+    summary: str = "",
+    problem: str = "",
+    supports_update: bool = False,
+) -> Callable:
+    """Decorator: register a :class:`~repro.api.schemes.Scheme` adapter.
+
+    ``supports_update=True`` marks schemes whose fitted instances
+    implement the :class:`~repro.api.mutation.MutableScheme` extension
+    (``update``/``pending_patch_stats``/``compact``); ``repro list``
+    surfaces the flag and :func:`repro.api.update` consults it in error
+    messages.
+    """
+    return SCHEMES.register(
+        name, summary=summary, problem=problem, supports_update=supports_update
+    )
 
 
 def workload_names() -> Tuple[str, ...]:

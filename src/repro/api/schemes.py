@@ -38,6 +38,7 @@ from repro.api.configs import (
     SmallWorldConfig,
     TriangulationConfig,
 )
+from repro.api.mutation import UnsupportedUpdate, UpdateReceipt
 from repro.api.registry import register_scheme
 from repro.api.workloads import WorkloadInstance
 
@@ -58,6 +59,9 @@ class FittedScheme:
 
     #: the config dataclass this scheme family accepts
     config_cls = SchemeConfig
+
+    #: whether fitted instances implement the MutableScheme extension
+    supports_update = False
 
     def __init__(
         self, workload: WorkloadInstance, config: SchemeConfig, inner: Any
@@ -84,7 +88,11 @@ class FittedScheme:
                 f"{cls.__name__} expects a {cls.config_cls.__name__}, "
                 f"got {type(config).__name__}"
             )
-        return cls._build(workload, config, seed=seed)
+        fitted = cls._build(workload, config, seed=seed)
+        # Recorded so churn probes can rebuild an identical reference
+        # structure without threading the seed through separately.
+        fitted._build_seed = seed
+        return fitted
 
     @classmethod
     def _build(
@@ -112,6 +120,24 @@ class FittedScheme:
     def size_account(self) -> SizeAccount:
         raise NotImplementedError
 
+    # -- mutation (the MutableScheme extension; static by default) ------
+
+    def update(self, joins=(), leaves=()) -> UpdateReceipt:
+        raise UnsupportedUpdate(
+            f"scheme {type(self).__name__} is static: it does not support "
+            f"incremental joins/leaves (see api.supports_update)"
+        )
+
+    def pending_patch_stats(self):
+        raise UnsupportedUpdate(
+            f"scheme {type(self).__name__} is static: no patch buffer"
+        )
+
+    def compact(self):
+        raise UnsupportedUpdate(
+            f"scheme {type(self).__name__} is static: nothing to compact"
+        )
+
     def guarantee(self) -> Dict[str, Any]:
         """The scheme's advertised quality guarantee, JSON-serializable.
 
@@ -136,6 +162,73 @@ class FittedScheme:
         rng = ensure_rng(seed)
         pairs = rng.integers(0, n, size=(samples, 2))
         return pairs[pairs[:, 0] != pairs[:, 1]]
+
+
+class _MutableSchemeMixin:
+    """The MutableScheme extension for adapters whose inner structure
+    implements ``apply_update``/``pending_patch_stats``/``compact``."""
+
+    supports_update = True
+
+    def _registered_name(self) -> str:
+        from repro.api.registry import SCHEMES
+
+        for name in SCHEMES.names():
+            if SCHEMES.get(name).obj is type(self):
+                return name
+        return type(self).__name__
+
+    def update(self, joins=(), leaves=()) -> UpdateReceipt:
+        """Apply one join/leave batch to the fitted structure.
+
+        Bumps the workload instance's revision counter, which is what
+        :class:`~repro.api.facade.BuildCache` re-keys on — a mutated
+        instance is never served as if it were the pristine build.
+        """
+        import time
+
+        inner = self.inner
+        if not hasattr(inner, "apply_update"):
+            raise UnsupportedUpdate(
+                f"{self._registered_name()} built this workload without an "
+                f"updatable structure (metric-overlay routing is static); "
+                f"use a graph workload for incremental updates"
+            )
+        t0 = time.perf_counter()
+        merged = inner.apply_update(joins=joins, leaves=leaves)
+        update_s = time.perf_counter() - t0
+        self.workload.revision = getattr(self.workload, "revision", 0) + 1
+        stats = inner.pending_patch_stats()
+        return UpdateReceipt(
+            scheme=self._registered_name(),
+            joins=tuple(sorted(int(x) for x in set(joins))),
+            leaves=tuple(sorted(int(x) for x in set(leaves))),
+            revision=int(inner.revision),
+            active_nodes=stats.active_nodes,
+            pending_joins=stats.pending_joins,
+            pending_leaves=stats.pending_leaves,
+            dirty_rows=stats.dirty_rows,
+            merged=bool(merged),
+            update_s=float(update_s),
+        )
+
+    def pending_patch_stats(self):
+        inner = self.inner
+        if not hasattr(inner, "pending_patch_stats"):
+            raise UnsupportedUpdate(
+                f"{self._registered_name()}: no patch buffer on this build"
+            )
+        return inner.pending_patch_stats()
+
+    def compact(self):
+        inner = self.inner
+        if not hasattr(inner, "compact"):
+            raise UnsupportedUpdate(
+                f"{self._registered_name()}: nothing to compact on this build"
+            )
+        stats = inner.compact()
+        self.workload.revision = getattr(self.workload, "revision", 0) + 1
+        return stats
 
 
 # ----------------------------------------------------------------------
@@ -178,8 +271,9 @@ class _EstimatorScheme(FittedScheme):
 @register_scheme(
     "triangulation", problem="distance-estimation",
     summary="Theorem 3.2 (0,δ)-triangulation via rings of neighbors",
+    supports_update=True,
 )
-class TriangulationScheme(_EstimatorScheme):
+class TriangulationScheme(_MutableSchemeMixin, _EstimatorScheme):
     config_cls = TriangulationConfig
 
     @classmethod
@@ -222,8 +316,9 @@ class TriangulationScheme(_EstimatorScheme):
 @register_scheme(
     "beacons", problem="distance-estimation",
     summary="common-beacon (ε,δ)-triangulation baseline [33, 50]",
+    supports_update=True,
 )
-class BeaconsScheme(_EstimatorScheme):
+class BeaconsScheme(_MutableSchemeMixin, _EstimatorScheme):
     config_cls = BeaconsConfig
 
     @classmethod
@@ -490,8 +585,9 @@ class TrivialRoutingScheme(_RoutingAdapter):
 @register_scheme(
     "route-thm2.1", problem="routing",
     summary="Theorem 2.1 rings-over-nets (1+δ)-stretch routing",
+    supports_update=True,
 )
-class RingRoutingScheme(_RoutingAdapter):
+class RingRoutingScheme(_MutableSchemeMixin, _RoutingAdapter):
     @classmethod
     def _factory(cls, graph, config, metric=None, executor=None):
         from repro.routing.ring_scheme import RingRouting

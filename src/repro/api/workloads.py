@@ -142,6 +142,9 @@ class WorkloadInstance:
         self.metric = metric
         self.graph = graph
         self.executor = None
+        #: bumped by MutableScheme updates; BuildCache refuses to serve a
+        #: cached instance whose revision moved past the pristine build
+        self.revision = 0
         self._scales: Dict[float, ScaleStructure] = {}
         self._measure: Optional[DoublingMeasure] = None
         self._rings: Dict[Tuple[int, Optional[int]], AnyRings] = {}

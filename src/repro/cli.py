@@ -13,6 +13,9 @@ Commands mirror the paper's four problems plus workload inspection:
   trivial) on a doubling graph and route sampled packets;
 * ``smallworld``  — sample a small-world model (5.2a / 5.2b / 5.5 /
   structures) and run queries;
+* ``update``      — build a mutable scheme and stream join/leave churn
+  into it (one explicit batch, or a seeded ChurnTrace), reporting
+  receipts, amortized update cost and patch-buffer state;
 * ``run``         — execute a declarative experiment grid (a named
   suite or a spec JSON file) through :mod:`repro.experiments`;
 * ``results``     — list or diff persisted experiment result sets;
@@ -189,6 +192,67 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print(f"{key:<22s} {value:.6g}")
         else:
             print(f"{key:<22s} {value}")
+    return 0
+
+
+def _mutable_scheme_names() -> list[str]:
+    """Registered schemes flagged ``supports_update``."""
+    from repro.api import SCHEMES
+
+    return [
+        name for name, entry in SCHEMES.items()
+        if entry.meta.get("supports_update")
+    ]
+
+
+def _parse_node_list(text: Optional[str]) -> list[int]:
+    if not text:
+        return []
+    return [int(x) for x in text.split(",") if x.strip()]
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro import api
+
+    fitted = api.build(
+        args.scheme, workload=_workload_from_args(args), seed=args.seed,
+    )
+    print(f"scheme    {args.scheme}")
+    print(f"workload  {args.workload} (n={fitted.workload.n})")
+    if args.events:
+        from repro.distributed.trace import ChurnTrace
+
+        trace = ChurnTrace.generate(
+            n=fitted.workload.n, events=args.events,
+            rate=args.rate, seed=args.trace_seed,
+        )
+        receipts = [
+            api.update(fitted, joins=event.joins, leaves=event.leaves)
+            for event in trace.events
+        ]
+        total_s = sum(r.update_s for r in receipts)
+        print(f"trace     {trace.describe()}")
+        print(f"events              {len(receipts)}")
+        print(f"amortized update_s  {total_s / max(1, len(receipts)):.6g}")
+        print(f"auto merges         {sum(r.merged for r in receipts)}")
+    else:
+        receipt = api.update(
+            fitted,
+            joins=_parse_node_list(args.joins),
+            leaves=_parse_node_list(args.leaves),
+        )
+        for key, value in receipt.to_dict().items():
+            print(f"{key:<20s} {value}")
+    if args.compact:
+        fitted.compact()
+    stats = fitted.pending_patch_stats()
+    print("patch state:")
+    for key, value in stats.to_dict().items():
+        print(f"  {key:<18s} {value}")
+    inner = fitted.inner
+    if getattr(inner, "ivl_checks", 0):
+        print(f"ivl_checks          {inner.ivl_checks}")
+        print(f"ivl_violations      {inner.ivl_violations}")
     return 0
 
 
@@ -547,6 +611,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a scheme name from `repro list`")
     _add_plan_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_update = sub.add_parser(
+        "update", help="stream join/leave churn into a mutable scheme")
+    _add_workload_arguments(p_update)
+    p_update.add_argument(
+        "--scheme", default="triangulation", choices=_mutable_scheme_names(),
+        help="which mutable scheme to build and update")
+    p_update.add_argument(
+        "--joins", default="", help="comma-separated node ids to join")
+    p_update.add_argument(
+        "--leaves", default="", help="comma-separated node ids to remove")
+    p_update.add_argument(
+        "--events", type=int, default=0,
+        help="instead of one batch, stream a generated ChurnTrace of this "
+             "many events")
+    p_update.add_argument(
+        "--rate", type=float, default=0.01,
+        help="per-event churn rate for --events (fraction of n)")
+    p_update.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="seed for the generated ChurnTrace")
+    p_update.add_argument(
+        "--compact", action="store_true",
+        help="force-merge the pending patch after the updates")
+    p_update.set_defaults(func=_cmd_update)
 
     p_run = sub.add_parser(
         "run", help="run an experiment grid (named suite or spec JSON)")

@@ -24,6 +24,7 @@ routing on metrics (:mod:`~repro.core.overlay`).
 """
 
 from repro.core.packed import PackedRings, exact_capped_rings
+from repro.core.patch import CSRPatch, InactiveNode, Membership, PatchStats
 from repro.core.rings import (
     Ring,
     RingsOfNeighbors,
@@ -36,7 +37,11 @@ from repro.core.enumeration import Enumeration, TranslationFunction
 from repro.core.overlay import overlay_from_rings
 
 __all__ = [
+    "CSRPatch",
+    "InactiveNode",
+    "Membership",
     "PackedRings",
+    "PatchStats",
     "Ring",
     "RingsOfNeighbors",
     "exact_capped_rings",

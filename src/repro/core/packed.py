@@ -241,6 +241,21 @@ class PackedRings:
             self.members[order], dict(self.provenance, sorted=True),
         )
 
+    # -- incremental membership ----------------------------------------
+
+    def membership_patch(self, membership=None, **kwargs):
+        """A :class:`~repro.core.patch.CSRPatch` over this structure's
+        member arrays — the entry point for join/leave churn.  The rings
+        themselves stay pristine; reads through the patch see them
+        filtered to the live active set."""
+        from repro.core.patch import CSRPatch, Membership
+
+        if membership is None:
+            membership = Membership(self.n)
+        return CSRPatch(
+            self.indptr, self.members, membership=membership, **kwargs
+        )
+
     # -- accounting -----------------------------------------------------
 
     def pointer_bits(self, u: NodeId) -> SizeAccount:

@@ -1,0 +1,347 @@
+"""Membership patch buffers over CSR-packed structures.
+
+The paper's distributed protocols (§6) assume nodes join and leave
+continuously, yet the packed structures in this repo were, until now,
+build-once: any churn meant scrub-and-rebuild.  This module is the
+incremental substrate. The design follows a *fixed-universe membership*
+model:
+
+* The metric universe (all ``n`` points) never changes — churn toggles
+  an ``active`` boolean per node.  This matches §6's view of a host
+  population with a known address space, and makes every derived state a
+  pure function of ``(pristine structure, active set)`` — independent of
+  the order in which joins/leaves arrived.
+* A :class:`CSRPatch` wraps one CSR block (``indptr``, ``keys`` and any
+  payload arrays aligned with ``keys``).  The pristine arrays are
+  retained forever; a *merged* copy (pristine filtered to the active set
+  at the last merge) serves reads on clean rows, while rows overlapping
+  pending churn are served from the pristine arrays masked by the live
+  active set.  Append-only join/tombstone segments record what is
+  pending; :meth:`CSRPatch.maybe_merge` folds them into a fresh packed
+  block when a size or staleness threshold trips.
+* Reads of inactive nodes raise :class:`InactiveNode`; reads that
+  overlap a pending patch are the ones the structures bracket with an
+  IVL-style bound (Rinberg & Keidar): the served value must lie between
+  the pre-merge and post-merge answers.
+
+Nothing here knows about distances or rings — it is pure membership +
+CSR bookkeeping, shared by the labeling and routing structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["InactiveNode", "Membership", "CSRPatch", "PatchStats"]
+
+
+class InactiveNode(LookupError):
+    """A read or update referenced a node that is not currently active."""
+
+
+def _as_ids(nodes: Iterable[int]) -> np.ndarray:
+    arr = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    return arr
+
+
+@dataclass(frozen=True)
+class PatchStats:
+    """A snapshot of a patch buffer's pending state (JSON-friendly)."""
+
+    universe: int
+    active_nodes: int
+    rows: int
+    dirty_rows: int
+    pending_joins: int
+    pending_leaves: int
+    updates: int
+    updates_since_merge: int
+    merges: int
+    auto_merges: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "universe": self.universe,
+            "active_nodes": self.active_nodes,
+            "rows": self.rows,
+            "dirty_rows": self.dirty_rows,
+            "pending_joins": self.pending_joins,
+            "pending_leaves": self.pending_leaves,
+            "updates": self.updates,
+            "updates_since_merge": self.updates_since_merge,
+            "merges": self.merges,
+            "auto_merges": self.auto_merges,
+        }
+
+
+class Membership:
+    """The active set over a fixed node universe, with pending segments.
+
+    ``active`` is the live membership; ``snapshot`` is the membership at
+    the last merge.  The append-only ``join_segments`` / ``leave_segments``
+    record the updates since that merge, in arrival order — they are what
+    a merge folds away.
+    """
+
+    def __init__(self, universe: int) -> None:
+        self.universe = int(universe)
+        self.active = np.ones(self.universe, dtype=bool)
+        self.snapshot = self.active.copy()
+        self.join_segments: list = []
+        self.leave_segments: list = []
+        self.updates = 0
+        self.updates_since_merge = 0
+        self.merges = 0
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return int(self.active.sum())
+
+    def is_active(self, u: int) -> bool:
+        return bool(self.active[u])
+
+    def active_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.active).astype(np.int64)
+
+    def pending_ids(self) -> np.ndarray:
+        """Every node whose membership changed since the last merge."""
+        return np.flatnonzero(self.active != self.snapshot).astype(np.int64)
+
+    def pending_joins(self) -> int:
+        return int(np.sum(self.active & ~self.snapshot))
+
+    def pending_leaves(self) -> int:
+        return int(np.sum(~self.active & self.snapshot))
+
+    def is_clean(self) -> bool:
+        return not self.join_segments and not self.leave_segments
+
+    # -- mutation -------------------------------------------------------
+
+    def apply(
+        self, joins: Iterable[int] = (), leaves: Iterable[int] = ()
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Record one batch of joins and leaves (validated, then applied).
+
+        Joins must currently be inactive, leaves active, and the two sets
+        disjoint — the same node cannot both join and leave in one batch.
+        Returns the normalized ``(joins, leaves)`` id arrays.
+        """
+        join_ids = _as_ids(joins)
+        leave_ids = _as_ids(leaves)
+        for arr, what in ((join_ids, "join"), (leave_ids, "leave")):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.universe):
+                raise ValueError(
+                    f"{what} ids out of range [0, {self.universe}): "
+                    f"{arr[(arr < 0) | (arr >= self.universe)].tolist()}"
+                )
+        both = np.intersect1d(join_ids, leave_ids)
+        if both.size:
+            raise ValueError(
+                f"nodes cannot both join and leave in one update: {both.tolist()}"
+            )
+        already = join_ids[self.active[join_ids]] if join_ids.size else join_ids
+        if already.size:
+            raise InactiveNode(
+                f"cannot join already-active node(s) {already.tolist()}"
+            )
+        gone = leave_ids[~self.active[leave_ids]] if leave_ids.size else leave_ids
+        if gone.size:
+            raise InactiveNode(
+                f"cannot remove inactive node(s) {gone.tolist()}"
+            )
+        self.active[join_ids] = True
+        self.active[leave_ids] = False
+        if join_ids.size:
+            self.join_segments.append(join_ids)
+        if leave_ids.size:
+            self.leave_segments.append(leave_ids)
+        self.updates += 1
+        self.updates_since_merge += 1
+        return join_ids, leave_ids
+
+    def commit(self) -> None:
+        """Fold pending segments into the snapshot (called by a merge)."""
+        self.snapshot = self.active.copy()
+        self.join_segments = []
+        self.leave_segments = []
+        self.updates_since_merge = 0
+        self.merges += 1
+
+
+class CSRPatch:
+    """A patch buffer over one CSR block of node-id rows.
+
+    The pristine ``(indptr, keys, payloads)`` arrays are never modified;
+    ``merged_*`` holds the pristine data filtered to the membership
+    snapshot of the last merge, and rows whose contents overlap pending
+    churn are flagged dirty and served from the pristine arrays masked by
+    the live active set (canonical order — identical to what a merge
+    would produce).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        keys: np.ndarray,
+        payloads: Sequence[np.ndarray] = (),
+        universe: Optional[int] = None,
+        membership: Optional[Membership] = None,
+        merge_threshold: float = 0.5,
+        staleness_limit: int = 128,
+    ) -> None:
+        self.pristine_indptr = np.asarray(indptr, dtype=np.int64)
+        self.pristine_keys = np.asarray(keys)
+        self.pristine_payloads: Tuple[np.ndarray, ...] = tuple(
+            np.asarray(p) for p in payloads
+        )
+        for p in self.pristine_payloads:
+            if p.shape[0] != self.pristine_keys.shape[0]:
+                raise ValueError(
+                    "payload arrays must align with keys: "
+                    f"{p.shape[0]} != {self.pristine_keys.shape[0]}"
+                )
+        if membership is None:
+            if universe is None:
+                universe = int(self.pristine_keys.max()) + 1 if self.pristine_keys.size else 0
+            membership = Membership(universe)
+        self.membership = membership
+        self.merge_threshold = float(merge_threshold)
+        self.staleness_limit = int(staleness_limit)
+        self.rows = int(self.pristine_indptr.size - 1)
+        # Served (merged) arrays start as aliases of the pristine block.
+        self.merged_indptr = self.pristine_indptr
+        self.merged_keys = self.pristine_keys
+        self.merged_payloads = self.pristine_payloads
+        self._dirty = np.zeros(self.rows, dtype=bool)
+        self.auto_merges = 0
+        # Lazy inverted index over pristine keys: value -> rows holding it.
+        self._inv_keys: Optional[np.ndarray] = None
+        self._inv_rows: Optional[np.ndarray] = None
+
+    # -- inverted index -------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        if self._inv_keys is not None:
+            return
+        counts = np.diff(self.pristine_indptr)
+        row_of = np.repeat(np.arange(self.rows, dtype=np.int64), counts)
+        order = np.argsort(self.pristine_keys, kind="stable")
+        self._inv_keys = np.asarray(self.pristine_keys)[order]
+        self._inv_rows = row_of[order]
+
+    def rows_containing(self, ids: np.ndarray) -> np.ndarray:
+        """Every row whose pristine contents mention any of ``ids``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_index()
+        lo = np.searchsorted(self._inv_keys, ids, side="left")
+        hi = np.searchsorted(self._inv_keys, ids, side="right")
+        hits = [self._inv_rows[a:b] for a, b in zip(lo, hi) if b > a]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))
+
+    # -- mutation -------------------------------------------------------
+
+    def apply(
+        self, joins: Iterable[int] = (), leaves: Iterable[int] = ()
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply one membership batch and flag the rows it touches."""
+        join_ids, leave_ids = self.membership.apply(joins, leaves)
+        changed = np.concatenate([join_ids, leave_ids])
+        if changed.size:
+            self._dirty[self.rows_containing(changed)] = True
+        return join_ids, leave_ids
+
+    # -- reads ----------------------------------------------------------
+
+    def row_dirty(self, r: int) -> bool:
+        return bool(self._dirty[r])
+
+    def rows_dirty(self, rows: np.ndarray) -> np.ndarray:
+        return self._dirty[np.asarray(rows, dtype=np.int64)]
+
+    @property
+    def dirty_row_count(self) -> int:
+        return int(self._dirty.sum())
+
+    def filtered_row(self, r: int) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+        """Row ``r`` served live: pristine contents masked by the active
+        set, in canonical (pristine) order — bit-identical to what the
+        next merge will produce for this row."""
+        lo, hi = self.pristine_indptr[r], self.pristine_indptr[r + 1]
+        keys = self.pristine_keys[lo:hi]
+        mask = self.membership.active[keys]
+        return keys[mask], tuple(p[lo:hi][mask] for p in self.pristine_payloads)
+
+    def merged_row(self, r: int) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+        """Row ``r`` as of the last merge (the pre-update IVL endpoint)."""
+        lo, hi = self.merged_indptr[r], self.merged_indptr[r + 1]
+        return (
+            self.merged_keys[lo:hi],
+            tuple(p[lo:hi] for p in self.merged_payloads),
+        )
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self) -> None:
+        """Fold pending churn into a fresh packed CSR block.
+
+        Filters the *pristine* arrays by the live active set — never the
+        previously-merged ones — so repeated leave/rejoin cycles always
+        reconverge to the same canonical block.
+        """
+        mask = self.membership.active[self.pristine_keys]
+        cum = np.concatenate([[0], np.cumsum(mask, dtype=np.int64)])
+        self.merged_indptr = cum[self.pristine_indptr]
+        self.merged_keys = self.pristine_keys[mask]
+        self.merged_payloads = tuple(p[mask] for p in self.pristine_payloads)
+        self._dirty[:] = False
+        self.membership.commit()
+
+    def maybe_merge(self) -> bool:
+        """Merge when the dirty-row fraction or staleness threshold trips."""
+        if self.membership.is_clean():
+            return False
+        frac = self.dirty_row_count / max(1, self.rows)
+        if (
+            frac >= self.merge_threshold
+            or self.membership.updates_since_merge >= self.staleness_limit
+        ):
+            self.merge()
+            self.auto_merges += 1
+            return True
+        return False
+
+    def is_clean(self) -> bool:
+        return self.membership.is_clean()
+
+    # -- reporting ------------------------------------------------------
+
+    def stats(self) -> PatchStats:
+        m = self.membership
+        return PatchStats(
+            universe=m.universe,
+            active_nodes=m.active_count,
+            rows=self.rows,
+            dirty_rows=self.dirty_row_count,
+            pending_joins=m.pending_joins(),
+            pending_leaves=m.pending_leaves(),
+            updates=m.updates,
+            updates_since_merge=m.updates_since_merge,
+            merges=m.merges,
+            auto_merges=self.auto_merges,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRPatch(rows={self.rows}, dirty={self.dirty_row_count}, "
+            f"active={self.membership.active_count}/{self.membership.universe})"
+        )

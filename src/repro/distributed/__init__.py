@@ -32,8 +32,11 @@ from repro.distributed.simulator import (
 from repro.distributed.netproto import DistributedNetProtocol
 from repro.distributed.ringproto import GossipRingProtocol, ring_coverage
 from repro.distributed.churn import ChurnRoundProtocol, ChurnSimulation
+from repro.distributed.trace import ChurnEvent, ChurnTrace
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnTrace",
     "Context",
     "Message",
     "RoundBasedProtocol",

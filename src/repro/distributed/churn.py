@@ -19,12 +19,13 @@ stabilizes it — the practical face of the theory/practice coverage gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro._types import NodeId
 from repro.distributed.simulator import Context, Message, RoundBasedProtocol
+from repro.distributed.trace import ChurnTrace
 from repro.meridian.rings import MeridianOverlay
 from repro.meridian.search import closest_node_search
 from repro.metrics.base import MetricSpace
@@ -53,14 +54,26 @@ class ChurnSimulation:
         bootstrap_probes: int = 8,
         repair_probes: int = 0,
         seed: SeedLike = None,
+        trace: Optional[ChurnTrace] = None,
+        incremental: bool = False,
     ) -> None:
         if not 0 <= churn_rate < 1:
             raise ValueError("churn_rate must be in [0, 1)")
+        if trace is not None and trace.n != metric.n:
+            raise ValueError(
+                f"trace covers n={trace.n} nodes, metric has n={metric.n}"
+            )
         self.metric = metric
         self.overlay = overlay
         self.churn_rate = churn_rate
         self.bootstrap_probes = bootstrap_probes
         self.repair_probes = repair_probes
+        #: optional shared schedule; when set, epoch e replays
+        #: ``trace.events[e]`` instead of drawing victims from the RNG
+        self.trace = trace
+        #: incremental scrub: maintain a member → {(node, ring_idx)}
+        #: inverted index instead of sweeping every ring per epoch
+        self.incremental = incremental
         self.rng = ensure_rng(seed)
         #: resolved RNG entropy (reproducibility even for seed=None runs)
         self.resolved_seed = rng_entropy(self.rng)
@@ -68,6 +81,40 @@ class ChurnSimulation:
         # Cached id range: per-event "everyone but u" candidate sets are
         # vectorized deletes from this, never rebuilt Python lists.
         self._ids = np.arange(metric.n)
+        # Trace mode tracks the live set so bootstrap/repair probes only
+        # touch active peers; legacy replacement churn keeps all active.
+        self._active = np.ones(metric.n, dtype=bool)
+        self._member_index: Optional[Dict[int, Set[Tuple[int, int]]]] = None
+
+    # -- incremental inverted index -------------------------------------------
+
+    def _index(self) -> Dict[int, Set[Tuple[int, int]]]:
+        """member → {(node, ring_idx)} over the whole overlay, built once
+        by a full sweep and maintained by every subsequent mutation."""
+        if self._member_index is None:
+            index: Dict[int, Set[Tuple[int, int]]] = {}
+            for node_id, node in enumerate(self.overlay.nodes):
+                for idx, members in node.rings.items():
+                    for v in members:
+                        index.setdefault(int(v), set()).add((node_id, idx))
+            self._member_index = index
+        return self._member_index
+
+    def _others(self, u: NodeId) -> np.ndarray:
+        """Active candidate peers for probes from ``u``."""
+        cands = np.flatnonzero(self._active)
+        return cands[cands != u]
+
+    def _clear_rings(self, u: NodeId) -> None:
+        """Drop all of u's outgoing ring entries (leave / rebootstrap)."""
+        node = self.overlay.nodes[u]
+        if self._member_index is not None:
+            for idx, members in node.rings.items():
+                for v in members:
+                    entries = self._member_index.get(int(v))
+                    if entries is not None:
+                        entries.discard((u, idx))
+        node.rings = {}
 
     # -- ring surgery ---------------------------------------------------------
 
@@ -79,7 +126,19 @@ class ChurnSimulation:
         """Remove a whole epoch's leavers in one pass: one vectorized
         membership test per ring instead of a full overlay sweep per
         leaver (identical result — every victim is scrubbed before any
-        rejoins happen)."""
+        rejoins happen).  With ``incremental=True``, the inverted index
+        names exactly the (node, ring) pairs holding a leaver, so the
+        cost is O(affected rings), not O(total rings)."""
+        if self.incremental:
+            index = self._index()
+            gone = set(int(v) for v in np.asarray(leavers).ravel())
+            for leaver in sorted(gone):
+                for node_id, idx in sorted(index.pop(leaver, set())):
+                    members = self.overlay.nodes[node_id].rings.get(idx, ())
+                    self.overlay.nodes[node_id].rings[idx] = tuple(
+                        v for v in members if int(v) not in gone
+                    )
+            return
         for node in self.overlay.nodes:
             for idx, members in list(node.rings.items()):
                 if not members:
@@ -96,12 +155,14 @@ class ChurnSimulation:
         members = node.rings.get(idx, ())
         if v != u and v not in members and len(members) < self.overlay.nodes_per_ring:
             node.rings[idx] = tuple(sorted(members + (v,)))
+            if self._member_index is not None:
+                self._member_index.setdefault(int(v), set()).add((int(u), idx))
 
     def _bootstrap(self, joiner: NodeId) -> None:
         """A (re)joining node probes a random sample to seed its rings,
         and announces itself to the probed nodes."""
-        self.overlay.nodes[joiner].rings = {}
-        others = np.delete(self._ids, joiner)
+        self._clear_rings(joiner)
+        others = self._others(joiner)
         sample = self.rng.choice(
             others, size=min(self.bootstrap_probes, others.size), replace=False
         )
@@ -116,8 +177,10 @@ class ChurnSimulation:
     def _repair(self) -> None:
         """Random maintenance probes re-filling decayed rings."""
         for u in range(self.metric.n):
+            if not self._active[u]:
+                continue
             row = self.metric.distances_from(u)
-            others = np.delete(self._ids, u)
+            others = self._others(u)
             sample = self.rng.choice(
                 others, size=min(self.repair_probes, others.size), replace=False
             )
@@ -130,12 +193,35 @@ class ChurnSimulation:
 
     def run_epoch(self, epoch: int, quality_queries: int = 60) -> EpochReport:
         n = self.metric.n
-        replaced = max(0, int(round(self.churn_rate * n)))
-        if replaced:
-            victims = self.rng.choice(n, size=replaced, replace=False)
-            self._scrub_many(victims)
-            for v in victims:
+        if self.trace is not None:
+            # Replay the shared schedule: scrub this epoch's leavers (and
+            # drop their own rings — they are away, not replaced), then
+            # bootstrap the cohort rejoining now.
+            event = (
+                self.trace.events[epoch]
+                if epoch < len(self.trace.events)
+                else None
+            )
+            leaves = tuple(event.leaves) if event is not None else ()
+            joins = tuple(event.joins) if event is not None else ()
+            replaced = len(leaves) + len(joins)
+            # Joins before leaves — the order ChurnTrace.generate and
+            # final_active() use (a node in both rejoins, then leaves).
+            for v in joins:
+                self._active[v] = True
                 self._bootstrap(int(v))
+            if leaves:
+                self._scrub_many(np.asarray(leaves, dtype=np.int64))
+                for v in leaves:
+                    self._clear_rings(int(v))
+                    self._active[v] = False
+        else:
+            replaced = max(0, int(round(self.churn_rate * n)))
+            if replaced:
+                victims = self.rng.choice(n, size=replaced, replace=False)
+                self._scrub_many(victims)
+                for v in victims:
+                    self._bootstrap(int(v))
         if self.repair_probes:
             self._repair()
 

@@ -273,6 +273,160 @@ for _scenario_name in ("ideal", "lossy", "partition", "byzantine", "crash-churn"
         return _netsim(fitted, _scenario)
 
 
+def _stream_pairs(active, rng, pairs: int):
+    """Distinct sampled pairs among the currently-active nodes."""
+    import numpy as np
+
+    ids = np.flatnonzero(active)
+    us = rng.choice(ids, size=pairs)
+    vs = rng.choice(ids, size=pairs)
+    keep = us != vs
+    return us[keep], vs[keep]
+
+
+def _stream_quality(fitted, active, rng, pairs: int):
+    """Estimate (or routed-path) ratios vs the true metric on sampled
+    active pairs — served straight off the patch-buffered structure, so
+    mid-patch reads exercise the IVL-checked path."""
+    import numpy as np
+
+    metric = fitted.workload.metric
+    us, vs = _stream_pairs(active, rng, pairs)
+    inner = fitted.inner
+    if hasattr(inner, "estimate_many"):
+        est = np.asarray(inner.estimate_many(us, vs), dtype=float)
+        true = np.array(
+            [metric.distance(int(u), int(v)) for u, v in zip(us, vs)]
+        )
+        finite = np.isfinite(est) & (true > 0)
+        return list(est[finite] / true[finite])
+    ratios = []
+    for u, v in zip(us, vs):
+        result = inner.route(int(u), int(v))
+        if result.reached:
+            ratios.append(
+                result.length(inner.graph) / metric.distance(int(u), int(v))
+            )
+    return ratios
+
+
+def _stream_parity(fitted, ref, active, pairs: int) -> bool:
+    """Bit-for-bit agreement between the streamed-and-compacted structure
+    and the rebuild reference on sampled active pairs."""
+    import numpy as np
+
+    rng = np.random.default_rng(31)
+    us, vs = _stream_pairs(active, rng, pairs)
+    a, b = fitted.inner, ref.inner
+    if hasattr(a, "estimate_many"):
+        return bool(
+            np.array_equal(
+                np.asarray(a.estimate_many(us, vs)),
+                np.asarray(b.estimate_many(us, vs)),
+            )
+        )
+    return all(
+        a.route(int(u), int(v)).path == b.route(int(u), int(v)).path
+        for u, v in zip(us, vs)
+    )
+
+
+def _churn_stream(
+    fitted,
+    events: int,
+    rate: float,
+    checkpoints: int = 4,
+    sample_pairs: int = 48,
+    prefix: str = "stream",
+) -> Dict[str, Any]:
+    """Stream a seeded ChurnTrace through the scheme's update path.
+
+    Reports checkpointed estimate quality, IVL check/violation counters
+    (the guarantee is zero violations), merge cadence, the amortized
+    per-update cost against a timed scrub-and-rebuild reference, and
+    bit-for-bit parity of the compacted structure against a fresh build
+    bulk-updated to the same final active set.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.distributed.trace import ChurnTrace
+
+    if not getattr(fitted, "supports_update", False) or not hasattr(
+        fitted.inner, "apply_update"
+    ):
+        return {f"{prefix}_supported": False}
+
+    n = fitted.workload.n
+    trace = ChurnTrace.generate(n=n, events=events, rate=rate, seed=23)
+    rng = np.random.default_rng(29)
+    active = np.ones(n, dtype=bool)
+    ratios = []
+    update_s = 0.0
+    every = max(1, len(trace.events) // checkpoints)
+    for i, event in enumerate(trace.events):
+        receipt = fitted.update(joins=event.joins, leaves=event.leaves)
+        update_s += receipt.update_s
+        active[list(event.joins)] = True
+        active[list(event.leaves)] = False
+        if (i + 1) % every == 0:
+            ratios.extend(_stream_quality(fitted, active, rng, sample_pairs))
+    stats = fitted.pending_patch_stats()
+
+    # The scrub-and-rebuild baseline an epoch loop would pay per event:
+    # a fresh pristine build, bulk-updated to the same active set.
+    t0 = time.perf_counter()
+    ref = type(fitted).build(
+        fitted.workload, fitted.config, seed=getattr(fitted, "_build_seed", 0)
+    )
+    rebuild_s = time.perf_counter() - t0
+    final = trace.final_active()
+    gone = [int(x) for x in np.flatnonzero(~final)]
+    if gone:
+        ref.update(joins=(), leaves=gone)
+    ref.compact()
+    fitted.compact()
+    parity = _stream_parity(fitted, ref, final, pairs=4 * sample_pairs)
+
+    inner = fitted.inner
+    amortized = update_s / max(1, len(trace.events))
+    return {
+        f"{prefix}_supported": True,
+        f"{prefix}_trace": trace.describe(),
+        f"{prefix}_events": len(trace.events),
+        f"{prefix}_amortized_update_s": round(amortized, 6),
+        f"{prefix}_rebuild_s": round(rebuild_s, 6),
+        f"{prefix}_update_speedup": round(rebuild_s / max(amortized, 1e-12), 2),
+        f"{prefix}_mean_ratio": float(np.mean(ratios)) if ratios else float("nan"),
+        f"{prefix}_max_ratio": float(np.max(ratios)) if ratios else float("nan"),
+        f"{prefix}_checkpoint_samples": len(ratios),
+        f"{prefix}_merges": int(stats.merges),
+        f"{prefix}_auto_merges": int(stats.auto_merges),
+        f"{prefix}_ivl_checks": int(getattr(inner, "ivl_checks", 0)),
+        f"{prefix}_ivl_violations": int(getattr(inner, "ivl_violations", 0)),
+        f"{prefix}_parity_equal": bool(parity),
+        f"{prefix}_final_active": int(final.sum()),
+    }
+
+
+@register_probe("churn-stream",
+                summary="stream a seeded ChurnTrace through the scheme's "
+                        "patch-buffered update path: quality, IVL, "
+                        "amortized cost vs rebuild, compaction parity")
+def _churn_stream_probe(fitted) -> Dict[str, Any]:
+    return _churn_stream(fitted, events=120, rate=0.02)
+
+
+@register_probe("churn-stream-lite",
+                summary="short churn stream (CI gate cells and the heavier "
+                        "routing scheme)")
+def _churn_stream_lite_probe(fitted) -> Dict[str, Any]:
+    return _churn_stream(
+        fitted, events=16, rate=0.05, checkpoints=2, sample_pairs=32
+    )
+
+
 @register_probe("serve-roundtrip",
                 summary="container save→load round-trip: parity + timings")
 def _serve_roundtrip(fitted) -> Dict[str, Any]:

@@ -304,6 +304,79 @@ def _netsim_smoke() -> ExperimentSpec:
     )
 
 
+@SUITES.register("churn-stream",
+                 summary="streaming membership churn through mutable "
+                         "schemes: quality, IVL bounds, amortized cost")
+def _churn_stream_suite() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "churn-stream",
+        description=(
+            "A seeded ChurnTrace streamed through every update-capable "
+            "scheme on the patch-buffered update path: estimate quality "
+            "sampled at checkpoints mid-patch, IVL-bound check and "
+            "violation counts (the guarantee is zero violations), merge "
+            "cadence, amortized per-update cost against a timed "
+            "scrub-and-rebuild reference, and bit-for-bit parity of the "
+            "compacted structure against a fresh build bulk-updated to "
+            "the same final active set.  Covers a euclidean metric and a "
+            "lazy-backend graph metric; the routing scheme streams a "
+            "shorter trace (its per-update label re-encode is the "
+            "heaviest maintenance step)."
+        ),
+        workloads=[
+            Workload.make("hypercube", n=400, dim=2, seed=210),
+            Workload.make("knn-graph", n=160, k=4, seed=211, dense=False),
+        ],
+        schemes=[
+            SchemeSpec.make("triangulation", delta=0.3),
+            SchemeSpec.make("beacons", beacons=16),
+            SchemeSpec.make("route-thm2.1", delta=0.3),
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=200, seed=7)],
+        probes=["churn-stream"],
+        overrides=[
+            # metric workloads route over a §4.1 overlay, which has no
+            # incremental path — the graph cell is the mutable one
+            CellOverride(workload="hypercube", scheme="route-thm2.1",
+                         skip=True),
+            CellOverride(workload="knn-graph", scheme="route-thm2.1",
+                         probes=("churn-stream-lite",)),
+        ],
+    )
+
+
+@SUITES.register("churn-stream-smoke",
+                 summary="fast churn-stream gate: short traces through all "
+                         "three mutable schemes (per-PR CI)")
+def _churn_stream_smoke() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        "churn-stream-smoke",
+        description=(
+            "The per-PR streaming-churn gate: a 16-event trace through "
+            "the three update-capable schemes on small instances — "
+            "enough to exercise patch application, IVL-checked reads, "
+            "auto-merge, compaction parity and the rebuild-reference "
+            "timing on every push; the full traces run nightly as "
+            "`churn-stream`."
+        ),
+        workloads=[
+            Workload.make("hypercube", n=64, dim=2, seed=210),
+            Workload.make("knn-graph", n=48, k=4, seed=211),
+        ],
+        schemes=[
+            SchemeSpec.make("triangulation", delta=0.3),
+            SchemeSpec.make("beacons", beacons=12),
+            SchemeSpec.make("route-thm2.1", delta=0.3),
+        ],
+        plans=[PlanConfig(kind="uniform", pairs=80, seed=7)],
+        probes=["churn-stream-lite"],
+        overrides=[
+            CellOverride(workload="hypercube", scheme="route-thm2.1",
+                         skip=True),
+        ],
+    )
+
+
 # ----------------------------------------------------------------------
 # Large-scale suites (n = 10⁴): the schemes whose evaluation is fully
 # vectorized and whose structures stay o(n²).  Graph workloads select the

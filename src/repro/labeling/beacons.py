@@ -17,6 +17,7 @@ import numpy as np
 
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
+from repro.core.patch import InactiveNode, Membership, PatchStats
 from repro.labeling.encoding import DistanceCodec
 from repro.metrics.base import MetricSpace
 from repro.rng import SeedLike, ensure_rng
@@ -59,6 +60,107 @@ class BeaconTriangulation:
         self._labels = self.codec.roundtrip_many(
             metric.distances_between(self.beacons, np.arange(metric.n)).T
         )
+        self._init_mutation_state()
+
+    def _init_mutation_state(self) -> None:
+        # Pristine copies: churn masks beacon *columns*, never recomputes
+        # distances.  ``self.beacons``/``self._labels`` always hold the
+        # state as of the last merge (what clean reads serve).
+        self._beacons0 = self.beacons
+        self._labels0 = self._labels
+        self._membership: Optional[Membership] = None
+        self._view = None
+        self.revision = 0
+        self.ivl_checks = 0
+        self.ivl_violations = 0
+        self.merge_threshold = 0.5
+        self.staleness_limit = 128
+        self._auto_merges = 0
+
+    # -- incremental updates -------------------------------------------
+
+    def _ensure_membership(self) -> Membership:
+        if self._membership is None:
+            self._membership = Membership(self.metric.n)
+        return self._membership
+
+    def _pending_beacon_changes(self) -> int:
+        m = self._membership
+        if m is None or m.is_clean():
+            return 0
+        return int(
+            np.count_nonzero(m.active[self._beacons0] != m.snapshot[self._beacons0])
+        )
+
+    def _beacon_dirty(self) -> bool:
+        return self._pending_beacon_changes() > 0
+
+    def _live_view(self):
+        """(live beacon ids, live (n, k') label view) under pending churn,
+        cached per membership update."""
+        m = self._membership
+        if self._view is None or self._view[0] != m.updates:
+            mask = m.active[self._beacons0]
+            self._view = (m.updates, self._beacons0[mask], self._labels0[:, mask])
+        return self._view[1], self._view[2]
+
+    def apply_update(self, joins=(), leaves=()) -> bool:
+        """Apply one join/leave batch.  Label distances stay pristine;
+        beacons owned by departed nodes are masked out of every read.
+        Returns whether this update triggered an automatic merge."""
+        m = self._ensure_membership()
+        m.apply(joins, leaves)
+        self.revision += 1
+        self._view = None
+        changed = self._pending_beacon_changes()
+        if not m.is_clean() and (
+            changed / max(1, self._beacons0.size) >= self.merge_threshold
+            or m.updates_since_merge >= self.staleness_limit
+        ):
+            self.compact()
+            self._auto_merges += 1
+            return True
+        return False
+
+    def compact(self) -> PatchStats:
+        """Fold pending churn into served ``beacons``/``labels`` arrays."""
+        m = self._ensure_membership()
+        mask = m.active[self._beacons0]
+        self.beacons = self._beacons0[mask]
+        self._labels = self._labels0[:, mask]
+        m.commit()
+        self._view = None
+        return self.pending_patch_stats()
+
+    def pending_patch_stats(self) -> PatchStats:
+        m = self._membership
+        n = self.metric.n
+        if m is None:
+            return PatchStats(
+                universe=n, active_nodes=n, rows=int(self._beacons0.size),
+                dirty_rows=0, pending_joins=0, pending_leaves=0, updates=0,
+                updates_since_merge=0, merges=0, auto_merges=0,
+            )
+        return PatchStats(
+            universe=n,
+            active_nodes=m.active_count,
+            rows=int(self._beacons0.size),
+            dirty_rows=self._pending_beacon_changes(),
+            pending_joins=m.pending_joins(),
+            pending_leaves=m.pending_leaves(),
+            updates=m.updates,
+            updates_since_merge=m.updates_since_merge,
+            merges=m.merges,
+            auto_merges=self._auto_merges,
+        )
+
+    def _check_active(self, u: NodeId, v: NodeId) -> None:
+        m = self._membership
+        if m is None:
+            return
+        if not m.active[u] or not m.active[v]:
+            missing = [x for x in (u, v) if not m.active[x]]
+            raise InactiveNode(f"node(s) {missing} are not active")
 
     @property
     def order(self) -> int:
@@ -97,6 +199,7 @@ class BeaconTriangulation:
             int(codec_meta["mantissa_bits"]),
         )
         tri._labels = np.asarray(arrays["labels"])
+        tri._init_mutation_state()
         return tri
 
     def label(self, u: NodeId) -> np.ndarray:
@@ -111,10 +214,51 @@ class BeaconTriangulation:
 
     def bounds(self, u: NodeId, v: NodeId) -> Tuple[float, float]:
         """(D-, D+) for the pair, from labels only."""
+        self._check_active(u, v)
+        if self._beacon_dirty():
+            _, view = self._live_view()
+            lu, lv = view[u], view[v]
+            if lu.size == 0:
+                return 0.0, float("inf")
+            upper = float(np.min(lu + lv))
+            lower = float(np.max(np.abs(lu - lv)))
+            self._ivl_check_one(u, v, upper)
+            return lower, upper
         lu, lv = self._labels[u], self._labels[v]
+        if lu.size == 0:
+            return 0.0, float("inf")
         upper = float(np.min(lu + lv))
         lower = float(np.max(np.abs(lu - lv)))
         return lower, upper
+
+    def _ivl_bracket(self, us, vs):
+        """(pre, post) D+ endpoints for the IVL hull: ``pre`` over the
+        last-merged beacon columns, ``post`` over the live columns but
+        recomputed by fancy column indexing — a different slicing path
+        than the boolean-masked serving view."""
+        m = self._membership
+        us = np.asarray(us, dtype=np.intp)
+        vs = np.asarray(vs, dtype=np.intp)
+        if self._labels.shape[1]:
+            pre = (self._labels[us] + self._labels[vs]).min(axis=1)
+        else:
+            pre = np.full(us.shape, np.inf)
+        idx = np.flatnonzero(m.active[self._beacons0])
+        if idx.size:
+            post = (
+                self._labels0[us][:, idx] + self._labels0[vs][:, idx]
+            ).min(axis=1)
+        else:
+            post = np.full(us.shape, np.inf)
+        return pre, post
+
+    def _ivl_check_one(self, u: NodeId, v: NodeId, served: float) -> None:
+        pre, post = self._ivl_bracket([u], [v])
+        lo, hi = min(pre[0], post[0]), max(pre[0], post[0])
+        tol = 1e-9 * max(1.0, abs(served)) if np.isfinite(served) else 0.0
+        self.ivl_checks += 1
+        if not (lo - tol <= served <= hi + tol):
+            self.ivl_violations += 1
 
     def estimate(self, u: NodeId, v: NodeId) -> float:
         """The distance estimate (the upper bound D+, as in the paper)."""
@@ -126,8 +270,39 @@ class BeaconTriangulation:
         """Batched (D-, D+) for aligned source/target index arrays."""
         us = np.asarray(us, dtype=np.intp)
         vs = np.asarray(vs, dtype=np.intp)
+        m = self._membership
+        if m is not None:
+            bad = ~(m.active[us] & m.active[vs])
+            if np.any(bad):
+                nodes = np.unique(np.concatenate([us[bad], vs[bad]]))
+                raise InactiveNode(
+                    f"node(s) {nodes[~m.active[nodes]].tolist()} are not active"
+                )
+        if self._beacon_dirty():
+            _, view = self._live_view()
+            if view.shape[1] == 0:
+                upper = np.full(us.shape, np.inf)
+                lower = np.zeros(us.shape)
+            else:
+                lu = view[us]
+                lv = view[vs]
+                upper = (lu + lv).min(axis=1)
+                lower = np.abs(lu - lv).max(axis=1)
+            pre, post = self._ivl_bracket(us, vs)
+            lo = np.minimum(pre, post)
+            hi = np.maximum(pre, post)
+            tol = np.where(
+                np.isfinite(upper), 1e-9 * np.maximum(1.0, np.abs(upper)), 0.0
+            )
+            self.ivl_checks += int(us.size)
+            self.ivl_violations += int(
+                np.count_nonzero((upper < lo - tol) | (upper > hi + tol))
+            )
+            return lower, upper
         lu = self._labels[us]
         lv = self._labels[vs]
+        if lu.shape[1] == 0:
+            return np.zeros(us.shape), np.full(us.shape, np.inf)
         upper = (lu + lv).min(axis=1)
         lower = np.abs(lu - lv).max(axis=1)
         return lower, upper

@@ -29,6 +29,7 @@ import numpy as np
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
 from repro.core.packed import pack_csr
+from repro.core.patch import CSRPatch, InactiveNode, PatchStats
 from repro.labeling._dplus import PackedLabels
 from repro.labeling._scales import ScaleStructure
 from repro.labeling.encoding import DistanceCodec
@@ -74,12 +75,122 @@ class RingTriangulation:
         self._indptr, self._ids = pack_csr(chunks_ids, dtype=np.int64)
         _, self._dist = pack_csr(chunks_dist, dtype=float)
         self._packed: Optional[PackedLabels] = None
+        self._patch: Optional[CSRPatch] = None
+        self.revision = 0
+        self.ivl_checks = 0
+        self.ivl_violations = 0
+        #: patch-merge policy (consulted when the patch is first created)
+        self.merge_threshold = 0.5
+        self.staleness_limit = 128
 
     # -- CSR access --------------------------------------------------------
 
     def _label_arrays(self, u: NodeId) -> Tuple[np.ndarray, np.ndarray]:
+        patch = self._patch
+        if patch is not None and patch.row_dirty(u):
+            ids, (dist,) = patch.filtered_row(u)
+            return ids, dist
         lo, hi = self._indptr[u], self._indptr[u + 1]
         return self._ids[lo:hi], self._dist[lo:hi]
+
+    # -- incremental updates ----------------------------------------------
+
+    def _ensure_patch(self) -> CSRPatch:
+        if self._patch is None:
+            self._patch = CSRPatch(
+                self._indptr, self._ids, payloads=(self._dist,),
+                universe=self.metric.n,
+                merge_threshold=self.merge_threshold,
+                staleness_limit=self.staleness_limit,
+            )
+        return self._patch
+
+    def _adopt_merged(self) -> None:
+        patch = self._patch
+        self._indptr = patch.merged_indptr
+        self._ids = patch.merged_keys
+        self._dist = patch.merged_payloads[0]
+        self._packed = None
+
+    def apply_update(self, joins=(), leaves=()) -> bool:
+        """Apply one join/leave batch to the label structure.
+
+        Labels stay pristine; reads filter by the live active set until
+        the patch's size/staleness threshold trips a merge.  Returns
+        whether this update triggered an automatic merge.
+        """
+        patch = self._ensure_patch()
+        patch.apply(joins, leaves)
+        self.revision += 1
+        merged = patch.maybe_merge()
+        if merged:
+            self._adopt_merged()
+        return merged
+
+    def compact(self) -> PatchStats:
+        """Force-merge pending churn into a fresh packed CSR block."""
+        patch = self._ensure_patch()
+        patch.merge()
+        self._adopt_merged()
+        return patch.stats()
+
+    def pending_patch_stats(self) -> PatchStats:
+        if self._patch is None:
+            n = self.metric.n
+            return PatchStats(
+                universe=n, active_nodes=n, rows=n, dirty_rows=0,
+                pending_joins=0, pending_leaves=0, updates=0,
+                updates_since_merge=0, merges=0, auto_merges=0,
+            )
+        return self._patch.stats()
+
+    def _check_active(self, u: NodeId, v: NodeId) -> None:
+        patch = self._patch
+        if patch is None:
+            return
+        act = patch.membership.active
+        if not act[u] or not act[v]:
+            missing = [x for x in (u, v) if not act[x]]
+            raise InactiveNode(f"node(s) {missing} are not active")
+
+    def _ivl_check(self, u: NodeId, v: NodeId, served: float) -> None:
+        """IVL-style bound for a read overlapping a pending patch.
+
+        ``pre`` is D+ over the last-merged arrays, ``post`` D+ over the
+        pristine arrays intersected *before* masking by the active set —
+        a deliberately different code path from the serving one (which
+        masks before intersecting).  The served value must land in
+        ``[min(pre, post), max(pre, post)]``; for pairs the pending churn
+        does not actually affect, pre == post and the check becomes a
+        bit-level cross-validation of the two paths.
+        """
+        patch = self._patch
+        ids_u, (dist_u,) = patch.merged_row(u)
+        ids_v, (dist_v,) = patch.merged_row(v)
+        _, iu, iv = np.intersect1d(
+            ids_u, ids_v, assume_unique=True, return_indices=True
+        )
+        pre = float((dist_u[iu] + dist_v[iv]).min()) if iu.size else float("inf")
+        plo_u, phi_u = patch.pristine_indptr[u], patch.pristine_indptr[u + 1]
+        plo_v, phi_v = patch.pristine_indptr[v], patch.pristine_indptr[v + 1]
+        common, ju, jv = np.intersect1d(
+            patch.pristine_keys[plo_u:phi_u], patch.pristine_keys[plo_v:phi_v],
+            assume_unique=True, return_indices=True,
+        )
+        keep = patch.membership.active[common] if common.size else common.astype(bool)
+        if np.any(keep):
+            dsum = (
+                patch.pristine_payloads[0][plo_u:phi_u][ju][keep]
+                + patch.pristine_payloads[0][plo_v:phi_v][jv][keep]
+            )
+            post = float(dsum.min())
+        else:
+            post = float("inf")
+        lo, hi = min(pre, post), max(pre, post)
+        tol = 1e-9 * max(1.0, abs(served)) if np.isfinite(served) else 0.0
+        self.ivl_checks += 1
+        if not (lo - tol <= served <= hi + tol):
+            self.ivl_violations += 1
 
     # -- structure metrics -------------------------------------------------
 
@@ -127,20 +238,60 @@ class RingTriangulation:
         """Distance estimate D+ (exact-distance labels)."""
         if u == v:
             return 0.0
-        return self.bounds(u, v)[1]
+        patch = self._patch
+        if patch is None:
+            return self.bounds(u, v)[1]
+        self._check_active(u, v)
+        served = self.bounds(u, v)[1]
+        if patch.row_dirty(u) or patch.row_dirty(v):
+            self._ivl_check(u, v, served)
+        return served
 
     def estimate_many(self, us, vs) -> np.ndarray:
         """Batched D+ over the packed labels (0 on the diagonal).
 
         The CSR label arrays are handed to :class:`PackedLabels` without
         any per-dict conversion, so a whole pair batch runs as chunked
-        broadcast intersections instead of per-pair dict walks.
+        broadcast intersections instead of per-pair dict walks.  With a
+        pending patch, clean-row pairs still take the packed fast path
+        (their merged rows are unaffected by the pending churn); pairs
+        touching a dirty row fall back to per-pair filtered estimates
+        with the IVL bound checked on each.
         """
-        if self._packed is None:
-            self._packed = PackedLabels.from_csr(
-                self.metric.n, self._indptr, self._ids, self._dist
+        patch = self._patch
+        if patch is None:
+            if self._packed is None:
+                self._packed = PackedLabels.from_csr(
+                    self.metric.n, self._indptr, self._ids, self._dist
+                )
+            return self._packed.dplus_many(us, vs)
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        act = patch.membership.active
+        bad = ~(act[us] & act[vs])
+        if np.any(bad):
+            nodes = np.unique(np.concatenate([us[bad], vs[bad]]))
+            raise InactiveNode(
+                f"node(s) {nodes[~act[nodes]].tolist()} are not active"
             )
-        return self._packed.dplus_many(us, vs)
+        if patch.is_clean():
+            if self._packed is None:
+                self._packed = PackedLabels.from_csr(
+                    self.metric.n, self._indptr, self._ids, self._dist
+                )
+            return self._packed.dplus_many(us, vs)
+        dirty = patch.rows_dirty(us) | patch.rows_dirty(vs)
+        out = np.empty(us.shape, dtype=float)
+        clean = ~dirty
+        if np.any(clean):
+            if self._packed is None:
+                self._packed = PackedLabels.from_csr(
+                    self.metric.n, self._indptr, self._ids, self._dist
+                )
+            out[clean] = self._packed.dplus_many(us[clean], vs[clean])
+        for i in np.flatnonzero(dirty):
+            out[i] = self.estimate(int(us[i]), int(vs[i]))
+        return out
 
     def to_arrays(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
         """(meta, arrays) inventory for the on-disk container.
@@ -178,6 +329,12 @@ class RingTriangulation:
         tri._ids = np.asarray(arrays["label_ids"])
         tri._dist = np.asarray(arrays["label_dist"])
         tri._packed = None
+        tri._patch = None
+        tri.revision = 0
+        tri.ivl_checks = 0
+        tri.ivl_violations = 0
+        tri.merge_threshold = 0.5
+        tri.staleness_limit = 128
         return tri
 
     def certified_ratio_bound(self) -> float:

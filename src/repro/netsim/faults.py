@@ -28,11 +28,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.distributed.trace import ChurnTrace
 
 __all__ = ["Byzantine", "Crash", "FaultPlan", "Partition"]
 
@@ -131,12 +134,19 @@ class Byzantine:
 
 @dataclass
 class FaultPlan:
-    """The composed fault schedule one network run executes."""
+    """The composed fault schedule one network run executes.
+
+    ``churn_trace`` is the shared :class:`~repro.distributed.trace.ChurnTrace`
+    the crash windows were derived from, when the scenario churns
+    membership — carried for provenance so a measured run can name the
+    exact schedule (and other churn consumers can replay it).
+    """
 
     crashes: Tuple[Crash, ...] = ()
     partitions: Tuple[Partition, ...] = ()
     byzantine: Optional[Byzantine] = None
     seed: int = 0
+    churn_trace: Optional["ChurnTrace"] = None
 
     def __post_init__(self) -> None:
         self.crashes = tuple(self.crashes)
@@ -204,12 +214,15 @@ class FaultPlan:
         return out
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "crashes": [c.to_dict() for c in self.crashes],
             "partitions": [p.to_dict() for p in self.partitions],
             "byzantine": None if self.byzantine is None else self.byzantine.to_dict(),
             "seed": self.seed,
         }
+        if self.churn_trace is not None:
+            out["churn_trace"] = self.churn_trace.to_dict()
+        return out
 
 
 def sample_nodes(

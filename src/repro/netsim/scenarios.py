@@ -93,21 +93,37 @@ class Scenario:
         gossip protocol's round counter; crashing it would stall the
         round clock rather than degrade the protocol.
         """
+        from repro.distributed.trace import ChurnEvent, ChurnTrace
+
         rng = ensure_rng(seed)
         shielded = frozenset(protect)
         eligible = [u for u in range(n) if u not in shielded]
 
+        # Crash churn is expressed as a shared ChurnTrace (leave at
+        # crash_at, rejoin restart_after later) and the Crash windows are
+        # derived from it — the same spec the distributed epoch
+        # simulation and the churn-stream suite consume.
         crashes = []
+        churn_trace = None
         k = int(round(self.crash_fraction * n))
         if k:
-            up_at = (
-                self.crash_at + self.restart_after
-                if self.restart_after is not None
-                else float("inf")
+            victims = sample_nodes(rng, eligible, k)
+            events = [ChurnEvent(at=self.crash_at, leaves=victims)]
+            if self.restart_after is not None:
+                events.append(
+                    ChurnEvent(
+                        at=self.crash_at + self.restart_after, joins=victims
+                    )
+                )
+            churn_trace = ChurnTrace(
+                n=n,
+                events=tuple(events),
+                seed=None,
+                rate=float(self.crash_fraction),
             )
             crashes = [
-                Crash(v, self.crash_at, up_at)
-                for v in sample_nodes(rng, eligible, k)
+                Crash(node, down_at, up_at)
+                for node, down_at, up_at in churn_trace.crash_windows()
             ]
 
         partitions = []
@@ -132,6 +148,7 @@ class Scenario:
             partitions=tuple(partitions),
             byzantine=byzantine,
             seed=int(rng.integers(2**31)),
+            churn_trace=churn_trace,
         )
 
     def network(self, metric: MetricSpace, seed: SeedLike = None) -> EventNetwork:
@@ -245,6 +262,10 @@ def measure_scenario(
         bootstrap=3, exchange=8, ring_capacity=ring_capacity, rounds=gossip_rounds
     )
     net = scenario.network(metric, seed)
+    # Churn provenance: the exact schedule this run's crash windows came
+    # from (every later network at the same seed replays it bit-for-bit).
+    if net.faults.churn_trace is not None:
+        out["churn_trace"] = net.faults.churn_trace.describe()
     adapter = RoundAdapter(net, gossip, max_rounds=10 * gossip_rounds + 10)
     stats = adapter.run()
     coverage, recall = ring_coverage(metric, gossip, adapter.ctx)

@@ -45,6 +45,7 @@ import numpy as np
 from repro._types import NodeId
 from repro.bits import SizeAccount, bits_for_count
 from repro.core.packed import PackedRings
+from repro.core.patch import CSRPatch, InactiveNode, Membership, PatchStats
 from repro.core.rings import net_rings
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import FirstHopTable
@@ -114,6 +115,7 @@ class RingRouting(RoutingScheme):
         self._max_ring_card = self.rings_packed.max_ring_cardinality()
 
         # Zooming sequences and labels, batched per level the same way.
+        self._init_mutation_state()
         n = graph.n
         all_nodes = range(n)
         self._zoom = np.empty((n, self.levels), dtype=np.int32)
@@ -127,6 +129,15 @@ class RingRouting(RoutingScheme):
         # vectorized) the first time the accounting asks for them.
         self._zeta_triples: Optional[np.ndarray] = None
 
+    def _init_mutation_state(self) -> None:
+        self._patch: Optional[CSRPatch] = None
+        self._level_members0: Optional[List[np.ndarray]] = None
+        self.revision = 0
+        self.ivl_checks = 0
+        self.ivl_violations = 0
+        self.merge_threshold = 0.5
+        self.staleness_limit = 128
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
@@ -138,6 +149,11 @@ class RingRouting(RoutingScheme):
             # rings; fail fast like the legacy list-of-lists did.
             raise IndexError(f"ring level {j} out of range [0, {self.levels})")
         i = u * self.levels + j
+        patch = self._patch
+        if patch is not None and patch.row_dirty(i):
+            served, _ = patch.filtered_row(i)
+            self._ivl_ring_check(i, served)
+            return served
         return self._members[self._indptr[i] : self._indptr[i + 1]]
 
     def ring(self, u: NodeId, j: int) -> Tuple[NodeId, ...]:
@@ -152,24 +168,158 @@ class RingRouting(RoutingScheme):
             return idx
         return None
 
-    def _build_label(self, t: NodeId) -> RingRoutingLabel:
+    def _build_label(self, t: NodeId, strict: bool = True) -> RingRoutingLabel:
+        """Encode t's zooming sequence.  ``strict=False`` (the churn
+        re-encode path) truncates at the first level where Claim 2.3's
+        containment no longer holds, instead of failing the build."""
         zoom = self._zoom[t]
         indices: List[int] = []
         # n_t0: index in the level-0 ring, which coincides across all nodes
         # (r_0 >= 4Δ/δ covers the whole metric).
-        idx0 = self._ring_index(t, 0, zoom[0])
+        idx0 = self._ring_index(t, 0, zoom[0]) if zoom[0] >= 0 else None
         if idx0 is None:
-            raise RuntimeError("level-0 ring must contain f_t0")
+            if strict:
+                raise RuntimeError("level-0 ring must contain f_t0")
+            return RingRoutingLabel(node=t, indices=())
         indices.append(idx0)
         for j in range(1, self.levels):
+            if zoom[j] < 0:
+                break
             f_prev = int(zoom[j - 1])
             idx = self._ring_index(f_prev, j, zoom[j])
             if idx is None:
-                raise RuntimeError(
-                    f"Claim 2.3 violated: f_({t},{j}) not in ring of f_({t},{j-1})"
-                )
+                if strict:
+                    raise RuntimeError(
+                        f"Claim 2.3 violated: f_({t},{j}) not in ring of f_({t},{j-1})"
+                    )
+                break
             indices.append(idx)
         return RingRoutingLabel(node=t, indices=tuple(indices))
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    #
+    # Membership-churn semantics: the node universe (and the graph, whose
+    # edges keep carrying traffic) is fixed; joins/leaves toggle an active
+    # mask.  Every derived quantity — ring enumerations, per-level nets
+    # G_j (a departed net point is *not* replaced), zooming sequences and
+    # labels — is recomputed as a pure function of (pristine build,
+    # active set), so interleaved updates and one bulk update converge to
+    # bit-identical state.
+
+    def _ensure_mutable(self) -> CSRPatch:
+        if self._patch is None:
+            self._patch = CSRPatch(
+                self._indptr, self._members,
+                membership=Membership(self.graph.n),
+                merge_threshold=self.merge_threshold,
+                staleness_limit=self.staleness_limit,
+            )
+            # G_j from the pristine rings: v ∈ G_j  ⟺  v ∈ ring(v, j)
+            # (a net point is always within r_j of itself).
+            self._level_members0 = []
+            for j in range(self.levels):
+                members = [
+                    v for v in range(self.graph.n)
+                    if self._ring_index(v, j, v) is not None
+                ]
+                self._level_members0.append(np.asarray(members, dtype=np.int64))
+        return self._patch
+
+    def _ivl_ring_check(self, row: int, served: np.ndarray) -> None:
+        """Set-containment invariant on a dirty ring enumeration read:
+        everything served must be active and pristine, and every
+        still-active member of the last-merged enumeration must be served
+        (the IVL hull for an enumeration read)."""
+        patch = self._patch
+        act = patch.membership.active
+        lo, hi = patch.pristine_indptr[row], patch.pristine_indptr[row + 1]
+        pristine = patch.pristine_keys[lo:hi]
+        pre = patch.merged_row(row)[0]
+        ok = (
+            bool(np.all(act[served])) if served.size else True
+        ) and bool(np.all(np.isin(served, pristine)))
+        if ok and pre.size:
+            still = pre[act[pre]]
+            ok = bool(np.all(np.isin(still, served)))
+        self.ivl_checks += 1
+        if not ok:
+            self.ivl_violations += 1
+
+    def _refresh_sizes(self) -> None:
+        patch = self._patch
+        mask = patch.membership.active[patch.pristine_keys]
+        cum = np.concatenate([[0], np.cumsum(mask, dtype=np.int64)])
+        counts = cum[patch.pristine_indptr[1:]] - cum[patch.pristine_indptr[:-1]]
+        self._sizes = counts.reshape(self.graph.n, self.levels)
+
+    def _recompute_zoom_level(self, j: int) -> None:
+        """Canonical zooming entries for level j: nearest *active* member
+        of G_j, lowest id on ties (candidates are id-sorted and argmin
+        takes the first minimum) — order-independent by construction."""
+        act = self._patch.membership.active
+        lm = self._level_members0[j]
+        cands = lm[act[lm]]
+        if cands.size == 0:
+            self._zoom[:, j] = -1
+            return
+        d = np.asarray(
+            self.metric.distances_between(cands, np.arange(self.graph.n))
+        )
+        self._zoom[:, j] = cands[d.argmin(axis=0)]
+
+    def apply_update(self, joins=(), leaves=()) -> bool:
+        """Apply one join/leave batch to the routing structure.
+
+        Ring enumerations are served filtered; zooming entries of every
+        level whose net G_j intersects the change are recomputed in full
+        (canonically), and all labels are re-encoded against the live
+        enumerations — truncated, not failed, where Claim 2.3's
+        containment no longer holds under churn.  Returns whether the
+        update triggered an automatic patch merge.
+        """
+        patch = self._ensure_mutable()
+        join_ids, leave_ids = patch.apply(joins, leaves)
+        self.revision += 1
+        changed = np.concatenate([join_ids, leave_ids])
+        self._refresh_sizes()
+        for j in range(self.levels):
+            lm = self._level_members0[j]
+            if lm.size and np.isin(changed, lm).any():
+                self._recompute_zoom_level(j)
+        self.labels = [
+            self._build_label(t, strict=False) for t in range(self.graph.n)
+        ]
+        self._zeta_triples = None
+        merged = patch.maybe_merge()
+        if merged:
+            self._adopt_merged()
+        return merged
+
+    def _adopt_merged(self) -> None:
+        patch = self._patch
+        self._indptr = patch.merged_indptr
+        self._members = patch.merged_keys
+        self._zeta_triples = None
+
+    def compact(self) -> PatchStats:
+        """Force-merge pending churn into a fresh packed CSR block."""
+        patch = self._ensure_mutable()
+        patch.merge()
+        self._adopt_merged()
+        self._refresh_sizes()
+        return patch.stats()
+
+    def pending_patch_stats(self) -> PatchStats:
+        if self._patch is None:
+            n = self.graph.n
+            return PatchStats(
+                universe=n, active_nodes=n, rows=n * self.levels,
+                dirty_rows=0, pending_joins=0, pending_leaves=0, updates=0,
+                updates_since_merge=0, merges=0, auto_merges=0,
+            )
+        return self._patch.stats()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -248,6 +398,7 @@ class RingRouting(RoutingScheme):
             for t in range(graph.n)
         ]
         scheme._zeta_triples = None
+        scheme._init_mutation_state()
         return scheme
 
     # ------------------------------------------------------------------
@@ -334,11 +485,13 @@ class RingRouting(RoutingScheme):
         the proof of Claim 2.2.
         """
         indices: List[int] = []
+        if not label.indices:
+            return indices
         m = label.indices[0]
-        if m >= self._sizes[u, 0]:
+        if m >= self._ring_arr(u, 0).size:
             return indices
         indices.append(m)
-        for j in range(1, self.levels):
+        for j in range(1, len(label.indices)):
             m_next = self.zeta_lookup(u, j - 1, indices[-1], label.indices[j])
             if m_next is None:
                 break
@@ -365,6 +518,11 @@ class RingRouting(RoutingScheme):
     def route(
         self, source: NodeId, target: NodeId, max_hops: Optional[int] = None
     ) -> RouteResult:
+        if self._patch is not None:
+            act = self._patch.membership.active
+            if not act[source] or not act[target]:
+                missing = [x for x in (source, target) if not act[x]]
+                raise InactiveNode(f"node(s) {missing} are not active")
         label = self.labels[target]
         limit = max_hops if max_hops is not None else 4 * self.graph.n + 16
         header = self.header_bits(label)

@@ -1,0 +1,208 @@
+"""ChurnTrace — the one join/leave schedule every churn consumer shares.
+
+Covers: seeded generation semantics (replacement model, disjoint
+joins/leaves, rejoin cohorts, exclusions), JSON round-trip + digest
+stability, ChurnSimulation replaying a trace (with incremental-vs-legacy
+scrub parity), and the netsim fault planner deriving its crash windows
+from — and recording — the same trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.facade import build_workload
+from repro.distributed import ChurnSimulation, ChurnTrace
+from repro.distributed.trace import ChurnEvent
+from repro.meridian import MeridianOverlay
+from repro.metrics import internet_like_metric
+from repro.netsim import SCENARIOS, Scenario, measure_scenario
+
+
+class TestGenerate:
+    def test_deterministic_for_seed(self):
+        a = ChurnTrace.generate(n=50, events=12, rate=0.05, seed=9)
+        b = ChurnTrace.generate(n=50, events=12, rate=0.05, seed=9)
+        assert a == b
+        assert a.digest() == b.digest()
+        c = ChurnTrace.generate(n=50, events=12, rate=0.05, seed=10)
+        assert a.digest() != c.digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            ChurnTrace.generate(n=1, events=4)
+        with pytest.raises(ValueError, match="rate"):
+            ChurnTrace.generate(n=10, events=4, rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            ChurnTrace.generate(n=10, events=4, rate=1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            ChurnTrace.generate(n=10, events=4, rate=0.1, exclude=(10,))
+
+    def test_joins_and_leaves_disjoint_per_event(self):
+        trace = ChurnTrace.generate(n=30, events=40, rate=0.2, seed=3)
+        for event in trace.events:
+            assert not set(event.joins) & set(event.leaves)
+            assert list(event.leaves) == sorted(event.leaves)
+
+    def test_rejoin_cohort_returns_after_exactly_two_events(self):
+        trace = ChurnTrace.generate(
+            n=40, events=10, rate=0.1, seed=5, rejoin_after=2
+        )
+        for i, event in enumerate(trace.events):
+            if i >= 2:
+                assert event.joins == trace.events[i - 2].leaves
+            else:
+                assert event.joins == ()
+
+    def test_exclude_pins_protected_nodes(self):
+        trace = ChurnTrace.generate(
+            n=20, events=30, rate=0.3, seed=1, exclude=(0, 19)
+        )
+        for event in trace.events:
+            assert 0 not in event.leaves and 19 not in event.leaves
+
+    def test_final_active_matches_replay(self):
+        trace = ChurnTrace.generate(n=25, events=9, rate=0.15, seed=2)
+        active = np.ones(25, dtype=bool)
+        for event in trace.events:
+            active[list(event.joins)] = True
+            active[list(event.leaves)] = False
+        assert np.array_equal(trace.final_active(), active)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        trace = ChurnTrace.generate(n=16, events=6, rate=0.2, seed=4)
+        data = json.loads(json.dumps(trace.to_dict()))
+        again = ChurnTrace.from_dict(data)
+        assert again == trace
+        assert again.digest() == trace.digest()
+
+    def test_event_roundtrip(self):
+        event = ChurnEvent(at=3.0, leaves=(1, 5), joins=(2,))
+        assert ChurnEvent.from_dict(event.to_dict()) == event
+
+    def test_describe_carries_digest(self):
+        trace = ChurnTrace.generate(n=16, events=6, rate=0.2, seed=4)
+        desc = trace.describe()
+        assert desc["n"] == 16
+        assert desc["events"] == 6
+        assert desc["seed"] == 4
+        assert desc["digest"] == trace.digest()
+
+    def test_crash_windows_pair_leave_with_next_rejoin(self):
+        trace = ChurnTrace(
+            n=6,
+            events=(
+                ChurnEvent(at=0.0, leaves=(2, 4)),
+                ChurnEvent(at=1.0, leaves=(1,)),
+                ChurnEvent(at=2.0, joins=(2, 4)),
+            ),
+        )
+        windows = dict(
+            (node, (down, up))
+            for node, down, up in trace.crash_windows(start=10.0, spacing=2.0)
+        )
+        assert windows[2] == (10.0, 14.0)
+        assert windows[4] == (10.0, 14.0)
+        assert windows[1] == (12.0, float("inf"))
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return internet_like_metric(48, seed=77)
+
+
+class TestChurnSimulationTrace:
+    def test_trace_drives_replacements(self, metric):
+        trace = ChurnTrace.generate(n=48, events=3, rate=0.1, seed=6)
+        overlay = MeridianOverlay(metric, seed=0)
+        sim = ChurnSimulation(metric, overlay, churn_rate=0.5, seed=1,
+                              trace=trace)
+        report = sim.run_epoch(0)
+        event = trace.events[0]
+        assert report.replaced_nodes == len(event.leaves) + len(event.joins)
+        for node in overlay.nodes:
+            for members in node.rings.values():
+                assert not set(members) & set(event.leaves)
+
+    def test_trace_n_mismatch_rejected(self, metric):
+        trace = ChurnTrace.generate(n=8, events=2, rate=0.2, seed=0)
+        with pytest.raises(ValueError, match="trace covers"):
+            ChurnSimulation(metric, MeridianOverlay(metric, seed=0),
+                            trace=trace)
+
+    def test_incremental_matches_legacy_scrub(self, metric):
+        trace = ChurnTrace.generate(n=48, events=4, rate=0.1, seed=8)
+
+        def run(incremental):
+            overlay = MeridianOverlay(metric, seed=0)
+            sim = ChurnSimulation(
+                metric, overlay, churn_rate=0.0, bootstrap_probes=8,
+                seed=11, trace=trace, incremental=incremental,
+            )
+            reports = sim.run(len(trace.events), quality_queries=40)
+            rings = [dict(node.rings) for node in overlay.nodes]
+            return reports, rings
+
+        legacy_reports, legacy_rings = run(False)
+        incr_reports, incr_rings = run(True)
+        assert legacy_rings == incr_rings
+        assert legacy_reports == incr_reports
+
+    def test_incremental_matches_legacy_random_mode(self, metric):
+        def run(incremental):
+            overlay = MeridianOverlay(metric, seed=0)
+            sim = ChurnSimulation(
+                metric, overlay, churn_rate=0.15, bootstrap_probes=8,
+                seed=13, incremental=incremental,
+            )
+            reports = sim.run(3, quality_queries=40)
+            return reports, [dict(node.rings) for node in overlay.nodes]
+
+        legacy_reports, legacy_rings = run(False)
+        incr_reports, incr_rings = run(True)
+        assert legacy_rings == incr_rings
+        assert legacy_reports == incr_reports
+
+
+class TestNetsimIntegration:
+    def test_crash_churn_plan_carries_trace(self):
+        sc = SCENARIOS.get("crash-churn").obj
+        plan = sc.faults(32, seed=5)
+        trace = plan.churn_trace
+        assert trace is not None
+        # the Crash windows are exactly the trace's crash windows
+        windows = {node: (down, up) for node, down, up in trace.crash_windows()}
+        assert len(windows) == len(plan.crashes)
+        for crash in plan.crashes:
+            assert windows[crash.node] == (crash.down_at, crash.up_at)
+            assert crash.down_at == sc.crash_at
+            assert crash.up_at == sc.crash_at + sc.restart_after
+        # and the plan's dict form records the trace for provenance
+        data = plan.to_dict()
+        assert data["churn_trace"]["n"] == 32
+        assert ChurnTrace.from_dict(data["churn_trace"]) == trace
+
+    def test_no_crash_scenario_has_no_trace(self):
+        plan = Scenario("calm").faults(16, seed=0)
+        assert plan.churn_trace is None
+        assert "churn_trace" not in plan.to_dict()
+
+    def test_measure_scenario_records_trace_provenance(self):
+        metric = build_workload("hypercube", n=32, seed=7).metric
+        out = measure_scenario(
+            metric, SCENARIOS.get("crash-churn").obj, seed=3,
+            gossip_rounds=2, audit_pairs=8,
+        )
+        desc = out["churn_trace"]
+        assert desc["n"] == 32
+        assert set(desc) == {"n", "events", "rate", "seed", "digest"}
+        ideal = measure_scenario(
+            metric, SCENARIOS.get("ideal").obj, seed=3,
+            gossip_rounds=2, audit_pairs=8,
+        )
+        assert "churn_trace" not in ideal
